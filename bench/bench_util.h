@@ -1,0 +1,57 @@
+#ifndef GVA_BENCH_BENCH_UTIL_H_
+#define GVA_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure reproduction binaries. Each binary
+// regenerates one table or figure of the paper (EDBT 2015, "Time series
+// anomaly discovery with grammar-based compression") on the synthetic
+// stand-in datasets and prints the same rows/series the paper reports,
+// plus CHECK lines asserting the qualitative shape the paper claims.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "viz/svg.h"
+
+namespace gva::bench {
+
+inline int g_check_failures = 0;
+
+/// Prints "CHECK ok: ..." / "CHECK FAILED: ..." and tracks failures so a
+/// binary can exit non-zero when the paper's qualitative shape is violated.
+inline void Check(bool condition, const std::string& what) {
+  if (condition) {
+    std::printf("CHECK ok: %s\n", what.c_str());
+  } else {
+    std::printf("CHECK FAILED: %s\n", what.c_str());
+    ++g_check_failures;
+  }
+}
+
+inline int CheckExitCode() { return g_check_failures == 0 ? 0 : 1; }
+
+inline void Header(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// When the GVA_FIGURES_DIR environment variable is set, writes the figure
+/// there as <name>.svg (the graphical counterpart of the text panels the
+/// binaries print). Silent no-op otherwise, so plain bench runs stay pure.
+inline void MaybeWriteFigure(const SvgFigure& figure,
+                             const std::string& name) {
+  const char* dir = std::getenv("GVA_FIGURES_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  const std::string path = std::string(dir) + "/" + name + ".svg";
+  Status status = figure.WriteFile(path);
+  if (status.ok()) {
+    std::printf("figure written: %s\n", path.c_str());
+  } else {
+    std::printf("figure NOT written: %s\n", status.ToString().c_str());
+  }
+}
+
+}  // namespace gva::bench
+
+#endif  // GVA_BENCH_BENCH_UTIL_H_

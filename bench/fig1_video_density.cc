@@ -1,0 +1,67 @@
+// Reproduces Figure 1: the recorded-video time series (multiple anomalous
+// events) with the rule density curve underneath — the curve's minima
+// pinpoint the anomalies. Built in linear time and space.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/evaluate.h"
+#include "core/rule_density_detector.h"
+#include "datasets/video.h"
+#include "viz/ascii_plot.h"
+
+namespace gva {
+namespace {
+
+int Run() {
+  bench::Header("Figure 1: multiple anomalies in the video dataset + rule "
+                "density curve");
+
+  VideoOptions opts;
+  opts.num_cycles = 26;
+  opts.anomalous_cycles = {8, 17};  // "multiple anomalous events"
+  LabeledSeries data = MakeVideo(opts);
+
+  SaxOptions sax = data.recommended;
+  DensityAnomalyOptions density_opts;
+  density_opts.threshold_fraction = 0.1;
+  density_opts.max_anomalies = 4;
+  auto detection = DetectDensityAnomalies(data.series, sax, density_opts);
+  if (!detection.ok()) {
+    std::printf("detection failed: %s\n",
+                detection.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Excerpt from the (synthetic) video dataset, planted "
+              "anomalies marked with '!':\n");
+  std::printf("%s\n",
+              RenderSeries(data.series, data.anomalies, {}).c_str());
+  std::printf("Grammar rules density (w=%zu, paa=%zu, a=%zu), dark = high:\n",
+              sax.window, sax.paa_size, sax.alphabet_size);
+  std::printf("%s\n\n",
+              RenderDensityShading(detection->decomposition.density).c_str());
+
+  std::printf("Low-density intervals reported (rank, interval, mean "
+              "density):\n");
+  std::vector<Interval> found;
+  for (const DensityAnomaly& a : detection->anomalies) {
+    std::printf("  #%zu  [%zu, %zu)  mean=%.2f min=%u\n", a.rank,
+                a.span.start, a.span.end, a.mean_density, a.min_density);
+    found.push_back(a.span);
+  }
+  std::printf("Planted anomalies:");
+  for (const Interval& t : data.anomalies) {
+    std::printf("  [%zu, %zu)", t.start, t.end);
+  }
+  std::printf("\n\n");
+
+  bench::Check(Recall(found, data.anomalies, sax.window) == 1.0,
+               "rule density minima pinpoint BOTH planted anomalous events");
+  return bench::CheckExitCode();
+}
+
+}  // namespace
+}  // namespace gva
+
+int main() { return gva::Run(); }

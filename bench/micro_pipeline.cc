@@ -1,0 +1,157 @@
+// Micro-benchmarks for the pipeline stages (google-benchmark): SAX
+// discretization, Sequitur induction, the rule density curve, and the
+// distance kernel. The linear-complexity stages (Section 4.1 claims the
+// whole rule-density technique is linear time and space) are swept over
+// series length so the scaling is visible in the report.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "core/rule_density_detector.h"
+#include "datasets/simple.h"
+#include "discord/distance.h"
+#include "grammar/rule_intervals.h"
+#include "grammar/sequitur.h"
+#include "sax/paa.h"
+#include "sax/sax_transform.h"
+#include "timeseries/znorm.h"
+#include "util/rng.h"
+
+namespace gva {
+namespace {
+
+SaxOptions DefaultSax() {
+  SaxOptions sax;
+  sax.window = 100;
+  sax.paa_size = 5;
+  sax.alphabet_size = 4;
+  return sax;
+}
+
+void BM_ZNormalize(benchmark::State& state) {
+  std::vector<double> window = MakeSine(state.range(0), 25.0, 0.1, 1);
+  std::vector<double> out;
+  for (auto _ : state) {
+    ZNormalize(window, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZNormalize)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_Paa(benchmark::State& state) {
+  std::vector<double> window = MakeSine(state.range(0), 25.0, 0.1, 2);
+  std::vector<double> out;
+  for (auto _ : state) {
+    Paa(window, 8, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Paa)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_SaxDiscretize(benchmark::State& state) {
+  std::vector<double> series = MakeSine(state.range(0), 50.0, 0.05, 3);
+  const SaxOptions sax = DefaultSax();
+  for (auto _ : state) {
+    auto records = Discretize(series, sax);
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SaxDiscretize)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+void BM_Sequitur(benchmark::State& state) {
+  // Token stream with motif structure, the shape SAX words have.
+  Rng rng(4);
+  std::vector<int32_t> tokens;
+  std::vector<int32_t> motif{1, 5, 2, 9, 2, 7};
+  while (tokens.size() < static_cast<size_t>(state.range(0))) {
+    if (rng.UniformDouble() < 0.7) {
+      tokens.insert(tokens.end(), motif.begin(), motif.end());
+    } else {
+      tokens.push_back(static_cast<int32_t>(rng.UniformInt(64)));
+    }
+  }
+  tokens.resize(state.range(0));
+  for (auto _ : state) {
+    auto grammar = InferGrammar(tokens);
+    benchmark::DoNotOptimize(grammar);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Sequitur)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 18)
+    ->Complexity(benchmark::oN);
+
+void BM_DensityCurve(benchmark::State& state) {
+  LabeledSeries data = MakeSineWithAnomaly(state.range(0), 50.0, 0.05,
+                                           state.range(0) / 2, 60, 5);
+  auto decomposition = DecomposeSeries(data.series, DefaultSax()).value();
+  for (auto _ : state) {
+    auto density =
+        RuleDensityCurve(decomposition.intervals, data.series.size());
+    benchmark::DoNotOptimize(density.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DensityCurve)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 18)
+    ->Complexity(benchmark::oN);
+
+void BM_FullDensityDetection(benchmark::State& state) {
+  LabeledSeries data = MakeSineWithAnomaly(state.range(0), 50.0, 0.05,
+                                           state.range(0) / 2, 60, 6);
+  const SaxOptions sax = DefaultSax();
+  for (auto _ : state) {
+    auto detection = DetectDensityAnomalies(data.series, sax, {});
+    benchmark::DoNotOptimize(detection);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullDensityDetection)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+void BM_DistanceKernel(benchmark::State& state) {
+  std::vector<double> series = MakeSine(1 << 16, 100.0, 0.1, 7);
+  SubsequenceDistance dist(series);
+  Rng rng(8);
+  const size_t len = state.range(0);
+  for (auto _ : state) {
+    const size_t p = rng.UniformInt(series.size() - len);
+    const size_t q = rng.UniformInt(series.size() - len);
+    benchmark::DoNotOptimize(dist.Distance(p, q, len));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_DistanceKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DistanceKernelEarlyAbandon(benchmark::State& state) {
+  std::vector<double> series = MakeSine(1 << 16, 100.0, 0.1, 7);
+  SubsequenceDistance dist(series);
+  Rng rng(9);
+  const size_t len = state.range(0);
+  for (auto _ : state) {
+    const size_t p = rng.UniformInt(series.size() - len);
+    const size_t q = rng.UniformInt(series.size() - len);
+    benchmark::DoNotOptimize(dist.Distance(p, q, len, 0.5));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_DistanceKernelEarlyAbandon)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace gva
+
+BENCHMARK_MAIN();

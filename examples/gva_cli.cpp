@@ -1,0 +1,212 @@
+// gva_cli — command-line front end for the library.
+//
+//   gva_cli density <series.csv> [options]   rule-density anomaly discovery
+//   gva_cli rra     <series.csv> [options]   RRA variable-length discords
+//   gva_cli profile <series.csv> [options]   parameter-grid profiling
+//
+// Common options:
+//   --column N      CSV column to read (default 0)
+//   --window N      sliding window  (default: suggested from the data)
+//   --paa N         PAA segments    (default: suggested)
+//   --alphabet N    alphabet size   (default: suggested)
+//   --top N         anomalies/discords to report (default 3)
+//   --threshold F   density threshold fraction (default 0.05)
+//   --approx        rra: paper's interval-aligned inner loop (no exact tail)
+//   --csv-out PATH  write the density curve next to the series as CSV
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/parameter_profile.h"
+#include "core/rra.h"
+#include "core/rule_density_detector.h"
+#include "timeseries/io.h"
+#include "util/csv.h"
+#include "viz/ascii_plot.h"
+#include "viz/report.h"
+
+namespace {
+
+using namespace gva;
+
+struct Args {
+  std::string command;
+  std::string csv_path;
+  std::map<std::string, std::string> options;
+  bool has_flag(const std::string& name) const {
+    return options.count(name) > 0;
+  }
+  size_t get_size(const std::string& name, size_t fallback) const {
+    auto it = options.find(name);
+    return it == options.end()
+               ? fallback
+               : std::strtoul(it->second.c_str(), nullptr, 10);
+  }
+  double get_double(const std::string& name, double fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gva_cli <density|rra|profile> <series.csv> "
+               "[--window N --paa N --alphabet N --column N --top N "
+               "--threshold F --approx --csv-out PATH]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 3) {
+    return false;
+  }
+  args->command = argv[1];
+  args->csv_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) {
+      return false;
+    }
+    flag = flag.substr(2);
+    if (flag == "approx") {  // boolean flags
+      args->options[flag] = "1";
+    } else if (i + 1 < argc) {
+      args->options[flag] = argv[++i];
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Resolves the SAX options: explicit flags win; missing pieces come from
+/// the data-driven suggestion.
+StatusOr<SaxOptions> ResolveSax(const Args& args, const TimeSeries& series) {
+  SaxOptions sax;
+  const bool all_given = args.has_flag("window") && args.has_flag("paa") &&
+                         args.has_flag("alphabet");
+  if (!all_given) {
+    StatusOr<SaxOptions> suggested = SuggestParameters(series);
+    if (suggested.ok()) {
+      sax = *suggested;
+      std::printf("suggested parameters: window=%zu paa=%zu alphabet=%zu\n",
+                  sax.window, sax.paa_size, sax.alphabet_size);
+    } else if (!all_given) {
+      std::printf("parameter suggestion failed (%s); using defaults\n",
+                  suggested.status().ToString().c_str());
+    }
+  }
+  sax.window = args.get_size("window", sax.window);
+  sax.paa_size = args.get_size("paa", sax.paa_size);
+  sax.alphabet_size = args.get_size("alphabet", sax.alphabet_size);
+  GVA_RETURN_IF_ERROR(sax.Validate());
+  return sax;
+}
+
+int RunDensity(const Args& args, const TimeSeries& series) {
+  StatusOr<SaxOptions> sax = ResolveSax(args, series);
+  if (!sax.ok()) {
+    std::fprintf(stderr, "%s\n", sax.status().ToString().c_str());
+    return 1;
+  }
+  DensityAnomalyOptions options;
+  options.threshold_fraction = args.get_double("threshold", 0.05);
+  options.max_anomalies = args.get_size("top", 3);
+  auto detection = DetectDensityAnomalies(series, *sax, options);
+  if (!detection.ok()) {
+    std::fprintf(stderr, "%s\n", detection.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n",
+              RenderDensityShading(detection->decomposition.density).c_str());
+  std::printf("%s", DensityAnomalyTable(*detection).c_str());
+  if (args.has_flag("csv-out")) {
+    std::vector<double> density(detection->decomposition.density.begin(),
+                                detection->decomposition.density.end());
+    Status written = WriteCsvColumns(args.options.at("csv-out"),
+                                     {"value", "rule_density"},
+                                     {series.values(), density});
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.options.at("csv-out").c_str());
+  }
+  return 0;
+}
+
+int RunRra(const Args& args, const TimeSeries& series) {
+  StatusOr<SaxOptions> sax = ResolveSax(args, series);
+  if (!sax.ok()) {
+    std::fprintf(stderr, "%s\n", sax.status().ToString().c_str());
+    return 1;
+  }
+  RraOptions options;
+  options.sax = *sax;
+  options.top_k = args.get_size("top", 3);
+  options.exact_nearest_neighbor = !args.has_flag("approx");
+  auto detection = FindRraDiscords(series, options);
+  if (!detection.ok()) {
+    std::fprintf(stderr, "%s\n", detection.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", DiscordTable(*detection).c_str());
+  return 0;
+}
+
+int RunProfile(const Args& args, const TimeSeries& series) {
+  (void)args;
+  auto profiles = SweepParameterGrid(series, {});
+  if (!profiles.ok()) {
+    std::fprintf(stderr, "%s\n", profiles.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-8s %-5s %-9s %9s %8s %8s %13s %8s\n", "window", "paa",
+              "alphabet", "tokens", "rules", "grammar", "approx.error",
+              "score");
+  for (const GrammarProfile& p : *profiles) {
+    std::printf("%-8zu %-5zu %-9zu %9zu %8zu %8zu %13.4f %8.4f\n",
+                p.sax.window, p.sax.paa_size, p.sax.alphabet_size, p.tokens,
+                p.rules, p.grammar_size, p.approximation_error, p.score);
+  }
+  auto suggested = SuggestParameters(series);
+  if (suggested.ok()) {
+    std::printf("\nsuggestion: --window %zu --paa %zu --alphabet %zu\n",
+                suggested->window, suggested->paa_size,
+                suggested->alphabet_size);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+  StatusOr<TimeSeries> series =
+      ReadTimeSeriesCsv(args.csv_path, args.get_size("column", 0));
+  if (!series.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", args.csv_path.c_str(),
+                 series.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu points from %s\n", series->size(),
+              args.csv_path.c_str());
+
+  if (args.command == "density") {
+    return RunDensity(args, *series);
+  }
+  if (args.command == "rra") {
+    return RunRra(args, *series);
+  }
+  if (args.command == "profile") {
+    return RunProfile(args, *series);
+  }
+  return Usage();
+}

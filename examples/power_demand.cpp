@@ -1,0 +1,70 @@
+// Industry scenario (paper Figures 3-4): a year of facility power demand in
+// which three weekdays behave like weekend days (state holidays). The
+// detectors are given a one-week seed window and no hint about how many
+// anomalies exist or how long they are.
+//
+//   ./build/examples/power_demand
+
+#include <cstdio>
+
+#include "core/rra.h"
+#include "core/rule_density_detector.h"
+#include "datasets/power_demand.h"
+#include "viz/ascii_plot.h"
+
+int main() {
+  using namespace gva;
+
+  PowerDemandOptions options;  // 52 weeks, 96 readings/day, 3 holidays
+  LabeledSeries data = MakePowerDemand(options);
+  const size_t day = options.samples_per_day;
+
+  static const char* kDayNames[] = {"Monday",   "Tuesday",  "Wednesday",
+                                    "Thursday", "Friday",   "Saturday",
+                                    "Sunday"};
+  std::printf("one year of power demand (%zu points). Planted holidays:\n",
+              data.series.size());
+  for (size_t h : options.holiday_days) {
+    std::printf("  day %zu (%s of week %zu)\n", h, kDayNames[h % 7], h / 7);
+  }
+  std::printf("\n%s\n", RenderSeries(data.series, data.anomalies).c_str());
+
+  SaxOptions sax = data.recommended;  // one-week window
+
+  RraOptions rra_options;
+  rra_options.sax = sax;
+  rra_options.top_k = 3;
+  StatusOr<RraDetection> rra = FindRraDiscords(data.series, rra_options);
+  if (!rra.ok()) {
+    std::printf("RRA failed: %s\n", rra.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("RRA found %zu discords (%llu distance calls):\n",
+              rra->result.discords.size(),
+              static_cast<unsigned long long>(rra->result.distance_calls));
+  for (size_t i = 0; i < rra->result.discords.size(); ++i) {
+    const DiscordRecord& d = rra->result.discords[i];
+    const size_t mid_day = (d.position + d.length / 2) / day;
+    std::printf("  #%zu [%zu, %zu) len=%zu dist=%.4f — around %s, week %zu\n",
+                i, d.position, d.position + d.length, d.length, d.distance,
+                kDayNames[mid_day % 7], mid_day / 7);
+  }
+
+  // Zoom into the week of the best discord.
+  const DiscordRecord& best = rra->result.discords[0];
+  const size_t week = 7 * day;
+  const size_t week_start = (best.position / week) * week;
+  if (week_start + week <= data.series.size()) {
+    AsciiPlotOptions plot;
+    plot.width = 84;
+    plot.height = 8;
+    const size_t hi =
+        best.position > week_start ? best.position - week_start : 0;
+    std::printf("\nweek containing the best discord:\n%s\n",
+                RenderSeries(data.series.Subsequence(week_start, week),
+                             {Interval{hi, hi + best.length}}, plot)
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "core/compression_score.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace gva {
+
+namespace {
+
+/// Trie over the grammar's rule expansions (terminal token sequences),
+/// supporting longest-prefix match.
+class ExpansionTrie {
+ public:
+  void Insert(std::span<const int32_t> expansion) {
+    Node* node = &root_;
+    for (int32_t token : expansion) {
+      auto [it, inserted] = node->children.try_emplace(token);
+      if (inserted) {
+        it->second = std::make_unique<Node>();
+      }
+      node = it->second.get();
+    }
+    node->terminal = true;
+  }
+
+  /// Length of the longest dictionary entry that prefixes `tokens`
+  /// (0 when none matches).
+  size_t LongestMatch(std::span<const int32_t> tokens) const {
+    const Node* node = &root_;
+    size_t best = 0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      auto it = node->children.find(tokens[i]);
+      if (it == node->children.end()) {
+        break;
+      }
+      node = it->second.get();
+      if (node->terminal) {
+        best = i + 1;
+      }
+    }
+    return best;
+  }
+
+ private:
+  struct Node {
+    std::map<int32_t, std::unique_ptr<Node>> children;
+    bool terminal = false;
+  };
+  Node root_;
+};
+
+ExpansionTrie BuildDictionary(const Grammar& grammar) {
+  ExpansionTrie trie;
+  for (size_t r = 1; r < grammar.size(); ++r) {
+    trie.Insert(grammar.ExpandToTerminals(r));
+  }
+  return trie;
+}
+
+size_t GreedyParseItemsWithTrie(const ExpansionTrie& trie,
+                                std::span<const int32_t> tokens) {
+  size_t items = 0;
+  size_t pos = 0;
+  while (pos < tokens.size()) {
+    const size_t match = trie.LongestMatch(tokens.subspan(pos));
+    pos += match > 1 ? match : 1;  // single-token "rules" gain nothing
+    ++items;
+  }
+  return items;
+}
+
+}  // namespace
+
+size_t GreedyParseItems(const Grammar& grammar,
+                        std::span<const int32_t> tokens) {
+  return GreedyParseItemsWithTrie(BuildDictionary(grammar), tokens);
+}
+
+StatusOr<CompressionDetection> DetectCompressionAnomalies(
+    std::span<const double> series, const CompressionScoreOptions& options) {
+  if (options.segment_tokens == 0) {
+    return Status::InvalidArgument("segment_tokens must be >= 1");
+  }
+  CompressionDetection detection;
+  GVA_ASSIGN_OR_RETURN(detection.decomposition,
+                       DecomposeSeries(series, options.sax));
+  const GrammarDecomposition& d = detection.decomposition;
+  const std::vector<int32_t>& tokens = d.grammar.tokens;
+  const ExpansionTrie trie = BuildDictionary(d.grammar.grammar);
+
+  for (size_t begin = 0; begin < tokens.size();
+       begin += options.segment_tokens) {
+    const size_t end =
+        std::min(tokens.size(), begin + options.segment_tokens);
+    SegmentScore score;
+    score.tokens = end - begin;
+    score.items = GreedyParseItemsWithTrie(
+        trie, std::span<const int32_t>(tokens).subspan(begin, end - begin));
+    score.cost =
+        static_cast<double>(score.items) / static_cast<double>(score.tokens);
+    const size_t series_start = d.records.offsets[begin];
+    const size_t series_end =
+        std::min(series.size(),
+                 d.records.offsets[end - 1] + options.sax.window);
+    score.span = Interval{series_start, series_end};
+    detection.segments.push_back(score);
+  }
+
+  detection.anomalies = detection.segments;
+  std::stable_sort(detection.anomalies.begin(), detection.anomalies.end(),
+                   [](const SegmentScore& a, const SegmentScore& b) {
+                     return a.cost > b.cost;
+                   });
+  if (detection.anomalies.size() > options.max_anomalies) {
+    detection.anomalies.resize(options.max_anomalies);
+  }
+  for (size_t r = 0; r < detection.anomalies.size(); ++r) {
+    detection.anomalies[r].rank = r;
+  }
+  return detection;
+}
+
+}  // namespace gva

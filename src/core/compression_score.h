@@ -1,0 +1,65 @@
+#ifndef GVA_CORE_COMPRESSION_SCORE_H_
+#define GVA_CORE_COMPRESSION_SCORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "timeseries/interval.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Options for the compression-based anomaly score.
+struct CompressionScoreOptions {
+  SaxOptions sax;
+  /// Segment granularity, in tokens of the reduced word stream.
+  size_t segment_tokens = 8;
+  /// Keep at most this many anomalies (highest cost first).
+  size_t max_anomalies = 10;
+};
+
+/// Score of one series segment under dictionary compression.
+struct SegmentScore {
+  /// Series span the segment covers.
+  Interval span;
+  /// Tokens in the segment.
+  size_t tokens = 0;
+  /// Dictionary items emitted by the greedy parse (rule references count 1,
+  /// bare terminals count 1).
+  size_t items = 0;
+  /// items / tokens in (0, 1]: 1 means nothing compressed — the
+  /// algorithmically random segments the method flags.
+  double cost = 0.0;
+  size_t rank = 0;
+};
+
+/// Output of the compression scorer.
+struct CompressionDetection {
+  GrammarDecomposition decomposition;
+  /// One score per segment, in series order.
+  std::vector<SegmentScore> segments;
+  /// The worst-compressing segments, cost descending.
+  std::vector<SegmentScore> anomalies;
+};
+
+/// Compression-dissimilarity anomaly scoring in the spirit of WCAD (Keogh,
+/// Lonardi & Ratanamahatana, KDD'04 — paper Section 6), with the Sequitur
+/// grammar as the compressor instead of an off-the-shelf one: the series is
+/// discretized once, the grammar's rule expansions form a dictionary, and
+/// every segment of the word stream is greedily parsed against it (longest
+/// rule first). Segments that barely compress are flagged. One grammar
+/// construction total — not the repeated compressor invocations that made
+/// WCAD expensive.
+StatusOr<CompressionDetection> DetectCompressionAnomalies(
+    std::span<const double> series, const CompressionScoreOptions& options);
+
+/// Greedy longest-match parse cost of `tokens` against the grammar's rule
+/// expansions: the number of emitted items. Exposed for testing.
+size_t GreedyParseItems(const Grammar& grammar,
+                        std::span<const int32_t> tokens);
+
+}  // namespace gva
+
+#endif  // GVA_CORE_COMPRESSION_SCORE_H_

@@ -1,0 +1,165 @@
+#include "core/detector.h"
+
+#include <algorithm>
+
+namespace gva {
+
+namespace {
+
+class RuleDensityAdapter : public AnomalyDetector {
+ public:
+  RuleDensityAdapter(const SaxOptions& sax,
+                     const DensityAnomalyOptions& options)
+      : sax_(sax), options_(options) {}
+
+  std::string name() const override { return "rule-density"; }
+
+  StatusOr<UnifiedDetection> Detect(std::span<const double> series,
+                                    size_t max_anomalies) const override {
+    DensityAnomalyOptions options = options_;
+    options.max_anomalies = max_anomalies;
+    GVA_ASSIGN_OR_RETURN(DensityDetection detection,
+                         DetectDensityAnomalies(series, sax_, options));
+    UnifiedDetection out;
+    // Score: depth below the curve mean — lower density is more anomalous.
+    double mean = 0.0;
+    for (uint32_t d : detection.decomposition.density) {
+      mean += d;
+    }
+    mean /= static_cast<double>(
+        std::max<size_t>(1, detection.decomposition.density.size()));
+    for (const DensityAnomaly& a : detection.anomalies) {
+      out.anomalies.push_back(UnifiedAnomaly{
+          a.span, std::max(0.0, mean - a.mean_density), a.rank});
+    }
+    return out;
+  }
+
+ private:
+  SaxOptions sax_;
+  DensityAnomalyOptions options_;
+};
+
+class RraAdapter : public AnomalyDetector {
+ public:
+  explicit RraAdapter(const RraOptions& options) : options_(options) {}
+
+  std::string name() const override { return "rra"; }
+
+  StatusOr<UnifiedDetection> Detect(std::span<const double> series,
+                                    size_t max_anomalies) const override {
+    RraOptions options = options_;
+    options.top_k = max_anomalies;
+    GVA_ASSIGN_OR_RETURN(RraDetection detection,
+                         FindRraDiscords(series, options));
+    UnifiedDetection out;
+    out.distance_calls = detection.result.distance_calls;
+    for (size_t i = 0; i < detection.result.discords.size(); ++i) {
+      const DiscordRecord& d = detection.result.discords[i];
+      out.anomalies.push_back(UnifiedAnomaly{d.span(), d.distance, i});
+    }
+    return out;
+  }
+
+ private:
+  RraOptions options_;
+};
+
+class RareWordAdapter : public AnomalyDetector {
+ public:
+  explicit RareWordAdapter(const FrequencyAnomalyOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "rare-word"; }
+
+  StatusOr<UnifiedDetection> Detect(std::span<const double> series,
+                                    size_t max_anomalies) const override {
+    FrequencyAnomalyOptions options = options_;
+    options.max_anomalies = max_anomalies;
+    GVA_ASSIGN_OR_RETURN(FrequencyDetection detection,
+                         DetectRareWordAnomalies(series, options));
+    UnifiedDetection out;
+    for (const FrequencyAnomaly& a : detection.anomalies) {
+      out.anomalies.push_back(
+          UnifiedAnomaly{a.span, 1.0 - a.mean_support, a.rank});
+    }
+    return out;
+  }
+
+ private:
+  FrequencyAnomalyOptions options_;
+};
+
+class CompressionAdapter : public AnomalyDetector {
+ public:
+  explicit CompressionAdapter(const CompressionScoreOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "compression"; }
+
+  StatusOr<UnifiedDetection> Detect(std::span<const double> series,
+                                    size_t max_anomalies) const override {
+    CompressionScoreOptions options = options_;
+    options.max_anomalies = max_anomalies;
+    GVA_ASSIGN_OR_RETURN(CompressionDetection detection,
+                         DetectCompressionAnomalies(series, options));
+    UnifiedDetection out;
+    for (const SegmentScore& s : detection.anomalies) {
+      out.anomalies.push_back(UnifiedAnomaly{s.span, s.cost, s.rank});
+    }
+    return out;
+  }
+
+ private:
+  CompressionScoreOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<AnomalyDetector> MakeRuleDensityDetector(
+    const SaxOptions& sax, const DensityAnomalyOptions& options) {
+  return std::make_unique<RuleDensityAdapter>(sax, options);
+}
+
+std::unique_ptr<AnomalyDetector> MakeRraDetector(const RraOptions& options) {
+  return std::make_unique<RraAdapter>(options);
+}
+
+std::unique_ptr<AnomalyDetector> MakeRareWordDetector(
+    const FrequencyAnomalyOptions& options) {
+  return std::make_unique<RareWordAdapter>(options);
+}
+
+std::unique_ptr<AnomalyDetector> MakeCompressionDetector(
+    const CompressionScoreOptions& options) {
+  return std::make_unique<CompressionAdapter>(options);
+}
+
+StatusOr<std::unique_ptr<AnomalyDetector>> MakeDetectorByName(
+    const std::string& name, const SaxOptions& sax) {
+  if (name == "rule-density") {
+    return MakeRuleDensityDetector(sax);
+  }
+  if (name == "rra") {
+    RraOptions options;
+    options.sax = sax;
+    return MakeRraDetector(options);
+  }
+  if (name == "rare-word") {
+    FrequencyAnomalyOptions options;
+    options.sax = sax;
+    return MakeRareWordDetector(options);
+  }
+  if (name == "compression") {
+    CompressionScoreOptions options;
+    options.sax = sax;
+    return MakeCompressionDetector(options);
+  }
+  return Status::NotFound("unknown detector '" + name + "'");
+}
+
+std::vector<std::string> AvailableDetectors() {
+  return {"rule-density", "rra", "rare-word", "compression"};
+}
+
+}  // namespace gva

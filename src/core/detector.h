@@ -1,0 +1,72 @@
+#ifndef GVA_CORE_DETECTOR_H_
+#define GVA_CORE_DETECTOR_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/compression_score.h"
+#include "core/frequency_detector.h"
+#include "core/rra.h"
+#include "core/rule_density_detector.h"
+#include "timeseries/interval.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// One detection in the unified result format: where, how anomalous, and
+/// the detector-specific score semantics.
+struct UnifiedAnomaly {
+  Interval span;
+  /// Higher = more anomalous, normalized per detector so rank order is
+  /// meaningful within one result (not across detectors).
+  double score = 0.0;
+  size_t rank = 0;
+};
+
+/// Result of AnomalyDetector::Detect.
+struct UnifiedDetection {
+  std::vector<UnifiedAnomaly> anomalies;  ///< ranked, most anomalous first
+  /// Distance-function calls spent (0 for distance-free detectors).
+  uint64_t distance_calls = 0;
+};
+
+/// Uniform interface over the four detectors in this library, for callers
+/// that want to swap or ensemble them: the paper's two contributions
+/// ("rule-density", "rra"), and the two related-work baselines
+/// ("rare-word", "compression"). Implementations are stateless beyond
+/// their options; Detect may be called repeatedly and concurrently from
+/// different instances.
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Stable identifier ("rule-density", "rra", "rare-word", "compression").
+  virtual std::string name() const = 0;
+
+  /// Runs the detection, returning up to `max_anomalies` ranked anomalies.
+  virtual StatusOr<UnifiedDetection> Detect(std::span<const double> series,
+                                            size_t max_anomalies) const = 0;
+};
+
+/// Factory functions. Each captures its options by value.
+std::unique_ptr<AnomalyDetector> MakeRuleDensityDetector(
+    const SaxOptions& sax, const DensityAnomalyOptions& options = {});
+std::unique_ptr<AnomalyDetector> MakeRraDetector(const RraOptions& options);
+std::unique_ptr<AnomalyDetector> MakeRareWordDetector(
+    const FrequencyAnomalyOptions& options);
+std::unique_ptr<AnomalyDetector> MakeCompressionDetector(
+    const CompressionScoreOptions& options);
+
+/// Creates a detector by name with the given SAX options and otherwise
+/// default settings. Fails with NotFound for unknown names.
+StatusOr<std::unique_ptr<AnomalyDetector>> MakeDetectorByName(
+    const std::string& name, const SaxOptions& sax);
+
+/// Names accepted by MakeDetectorByName.
+std::vector<std::string> AvailableDetectors();
+
+}  // namespace gva
+
+#endif  // GVA_CORE_DETECTOR_H_

@@ -1,0 +1,53 @@
+#ifndef GVA_CORE_FREQUENCY_DETECTOR_H_
+#define GVA_CORE_FREQUENCY_DETECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sax/sax_transform.h"
+#include "timeseries/interval.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Options for the word-frequency baseline.
+struct FrequencyAnomalyOptions {
+  /// Discretization parameters; numerosity reduction is ignored (every
+  /// window position gets a word, as in VizTree's trie).
+  SaxOptions sax;
+  /// Support threshold as a fraction of the support range above the
+  /// minimum; 0 keeps only globally rarest words.
+  double threshold_fraction = 0.0;
+  /// Keep at most this many anomalies, ranked by mean support ascending.
+  size_t max_anomalies = 10;
+};
+
+/// One low-support interval.
+struct FrequencyAnomaly {
+  Interval span;
+  /// Mean word support (occurrences / windows) over the interval.
+  double mean_support = 0.0;
+  size_t rank = 0;
+};
+
+/// Output of the rare-word baseline.
+struct FrequencyDetection {
+  /// Per-window-position support of the position's SAX word, in [0, 1].
+  std::vector<double> support;
+  std::vector<FrequencyAnomaly> anomalies;
+};
+
+/// Word-frequency anomaly detection in the spirit of VizTree (Lin et al.
+/// 2004) and infrequent-pattern scoring (Chen & Zhan) — the
+/// "rare patterns without distances" related work of paper Section 6.
+/// Every window is discretized; positions whose words have the lowest
+/// support are reported. Fast and grammar-free, but blind to the *order*
+/// of words — the contextual information the paper's grammar approach
+/// exploits — and bounded by the window length.
+StatusOr<FrequencyDetection> DetectRareWordAnomalies(
+    std::span<const double> series, const FrequencyAnomalyOptions& options);
+
+}  // namespace gva
+
+#endif  // GVA_CORE_FREQUENCY_DETECTOR_H_

@@ -1,0 +1,67 @@
+#include "core/motif.h"
+
+#include <algorithm>
+
+#include "grammar/grammar_printer.h"
+
+namespace gva {
+
+StatusOr<MotifDetection> FindMotifs(std::span<const double> series,
+                                    const MotifOptions& options) {
+  MotifDetection detection;
+  GVA_ASSIGN_OR_RETURN(detection.decomposition,
+                       DecomposeSeries(series, options.sax));
+  const GrammarDecomposition& d = detection.decomposition;
+
+  // Group the mapped intervals by rule.
+  const size_t num_rules = d.grammar.grammar.size();
+  std::vector<std::vector<Interval>> by_rule(num_rules);
+  for (const RuleInterval& ri : d.intervals) {
+    if (ri.rule >= 1) {
+      by_rule[static_cast<size_t>(ri.rule)].push_back(ri.span);
+    }
+  }
+
+  for (size_t r = 1; r < num_rules; ++r) {
+    const std::vector<Interval>& occurrences = by_rule[r];
+    if (occurrences.size() < options.min_frequency) {
+      continue;
+    }
+    Motif motif;
+    motif.rule = static_cast<int32_t>(r);
+    motif.frequency = occurrences.size();
+    motif.occurrences = occurrences;
+    motif.min_length = occurrences.front().length();
+    motif.max_length = occurrences.front().length();
+    size_t total = 0;
+    for (const Interval& occ : occurrences) {
+      total += occ.length();
+      motif.min_length = std::min(motif.min_length, occ.length());
+      motif.max_length = std::max(motif.max_length, occ.length());
+    }
+    motif.mean_length =
+        static_cast<double>(total) / static_cast<double>(occurrences.size());
+    if (motif.mean_length < static_cast<double>(options.min_length)) {
+      continue;
+    }
+    motif.rhs = RuleRhsToString(d.grammar, r);
+    detection.motifs.push_back(std::move(motif));
+  }
+
+  std::stable_sort(detection.motifs.begin(), detection.motifs.end(),
+                   [](const Motif& a, const Motif& b) {
+                     if (a.frequency != b.frequency) {
+                       return a.frequency > b.frequency;
+                     }
+                     return a.mean_length > b.mean_length;
+                   });
+  if (detection.motifs.size() > options.max_motifs) {
+    detection.motifs.resize(options.max_motifs);
+  }
+  for (size_t i = 0; i < detection.motifs.size(); ++i) {
+    detection.motifs[i].rank = i;
+  }
+  return detection;
+}
+
+}  // namespace gva

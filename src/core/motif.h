@@ -1,0 +1,63 @@
+#ifndef GVA_CORE_MOTIF_H_
+#define GVA_CORE_MOTIF_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "timeseries/interval.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Options for grammar-based motif discovery.
+struct MotifOptions {
+  SaxOptions sax;
+  /// Rules with fewer occurrences than this are not motifs.
+  size_t min_frequency = 3;
+  /// Motifs whose mean mapped length is below this are dropped (0 = no
+  /// minimum beyond one point).
+  size_t min_length = 0;
+  /// Keep at most this many motifs.
+  size_t max_motifs = 10;
+};
+
+/// One recurrent variable-length pattern: a grammar rule and its mapped
+/// subsequences.
+struct Motif {
+  /// Rule index in the decomposition's grammar.
+  int32_t rule = 0;
+  /// Number of occurrences in the series.
+  size_t frequency = 0;
+  /// Every mapped occurrence (variable lengths!).
+  std::vector<Interval> occurrences;
+  /// Mean / min / max occurrence length.
+  double mean_length = 0.0;
+  size_t min_length = 0;
+  size_t max_length = 0;
+  /// The rule's right-hand side, rendered ("aac abc").
+  std::string rhs;
+  size_t rank = 0;
+};
+
+/// Result of motif discovery.
+struct MotifDetection {
+  GrammarDecomposition decomposition;
+  /// Motifs ranked by frequency descending (ties: longer first) — the
+  /// inverse of anomaly discovery: the *most* compressible structures.
+  std::vector<Motif> motifs;
+};
+
+/// Variable-length motif discovery via grammar induction — the GrammarViz
+/// algorithm (Li, Lin & Oates 2012) the paper's Section 3.5 builds upon:
+/// Sequitur's utility constraint guarantees every rule maps to a recurrent
+/// pattern, and numerosity reduction lets occurrences differ in length.
+/// Anomaly detection is the inverse problem; this is the direct one.
+StatusOr<MotifDetection> FindMotifs(std::span<const double> series,
+                                    const MotifOptions& options);
+
+}  // namespace gva
+
+#endif  // GVA_CORE_MOTIF_H_

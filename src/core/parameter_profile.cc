@@ -1,0 +1,135 @@
+#include "core/parameter_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grammar/sequitur.h"
+#include "sax/alphabet.h"
+#include "sax/paa.h"
+#include "timeseries/sliding_window.h"
+#include "timeseries/znorm.h"
+#include "util/math_utils.h"
+
+namespace gva {
+
+namespace {
+
+/// Decoded level of each letter: the median of its equiprobable region.
+std::vector<double> LetterLevels(const NormalAlphabet& alphabet) {
+  std::vector<double> levels(alphabet.size());
+  const double a = static_cast<double>(alphabet.size());
+  for (size_t i = 0; i < alphabet.size(); ++i) {
+    levels[i] = InverseNormalCdf((static_cast<double>(i) + 0.5) / a);
+  }
+  return levels;
+}
+
+}  // namespace
+
+StatusOr<GrammarProfile> ProfileParameters(std::span<const double> series,
+                                           const SaxOptions& options) {
+  GVA_ASSIGN_OR_RETURN(SaxRecords records, Discretize(series, options));
+  GVA_ASSIGN_OR_RETURN(WordGrammar grammar,
+                       InferGrammarFromWords(records.words));
+
+  GrammarProfile profile;
+  profile.sax = options;
+  profile.tokens = records.size();
+  profile.rules = grammar.grammar.size();
+  for (const GrammarRule& rule : grammar.grammar.rules()) {
+    profile.grammar_size += rule.rhs.size();
+  }
+
+  // Reconstruction error over the kept windows.
+  const NormalAlphabet alphabet(options.alphabet_size);
+  const std::vector<double> levels = LetterLevels(alphabet);
+  std::vector<double> normalized;
+  std::vector<double> paa;
+  double total_error = 0.0;
+  size_t total_points = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const size_t pos = records.offsets[i];
+    ZNormalize(WindowAt(series, pos, options.window), normalized,
+               options.znorm_epsilon);
+    const std::string& word = records.words[i];
+    // Expand the word back to window length: segment j covers the real
+    // interval [j*n/w, (j+1)*n/w).
+    for (size_t p = 0; p < options.window; ++p) {
+      const size_t segment =
+          std::min(options.paa_size - 1,
+                   p * options.paa_size / options.window);
+      const double level =
+          levels[NormalAlphabet::IndexOfLetter(word[segment])];
+      total_error += std::abs(normalized[p] - level);
+    }
+    total_points += options.window;
+  }
+  profile.approximation_error =
+      total_points > 0 ? total_error / static_cast<double>(total_points)
+                       : 0.0;
+
+  profile.compression =
+      profile.tokens > 0
+          ? 1.0 - static_cast<double>(profile.grammar_size) /
+                      static_cast<double>(profile.tokens)
+          : 0.0;
+  if (profile.compression < 0.0) {
+    profile.compression = 0.0;
+  }
+
+  // Degenerate combinations cannot support anomaly discovery: nearly no
+  // tokens (everything collapsed) or no rules (nothing repeated).
+  if (profile.tokens >= 10 && profile.rules >= 2) {
+    profile.score =
+        profile.compression / (1.0 + profile.approximation_error);
+  }
+  return profile;
+}
+
+StatusOr<std::vector<GrammarProfile>> SweepParameterGrid(
+    std::span<const double> series, const ParameterGrid& grid) {
+  std::vector<GrammarProfile> profiles;
+  for (size_t w : grid.windows) {
+    if (series.size() < 2 * w) {
+      continue;
+    }
+    for (size_t p : grid.paa_sizes) {
+      if (p > w) {
+        continue;
+      }
+      for (size_t a : grid.alphabet_sizes) {
+        SaxOptions options;
+        options.window = w;
+        options.paa_size = p;
+        options.alphabet_size = a;
+        GVA_ASSIGN_OR_RETURN(GrammarProfile profile,
+                             ProfileParameters(series, options));
+        profiles.push_back(profile);
+      }
+    }
+  }
+  if (profiles.empty()) {
+    return Status::InvalidArgument(
+        "no grid combination fits the series length");
+  }
+  return profiles;
+}
+
+StatusOr<SaxOptions> SuggestParameters(std::span<const double> series,
+                                       const ParameterGrid& grid) {
+  GVA_ASSIGN_OR_RETURN(std::vector<GrammarProfile> profiles,
+                       SweepParameterGrid(series, grid));
+  const GrammarProfile* best = nullptr;
+  for (const GrammarProfile& p : profiles) {
+    if (best == nullptr || p.score > best->score) {
+      best = &p;
+    }
+  }
+  if (best == nullptr || best->score <= 0.0) {
+    return Status::NotFound(
+        "no parameter combination produced a usable grammar");
+  }
+  return best->sax;
+}
+
+}  // namespace gva

@@ -1,0 +1,19 @@
+#include "core/pipeline.h"
+
+namespace gva {
+
+StatusOr<GrammarDecomposition> DecomposeSeries(std::span<const double> series,
+                                               const SaxOptions& options) {
+  GrammarDecomposition out;
+  out.series_length = series.size();
+  out.window = options.window;
+  GVA_ASSIGN_OR_RETURN(out.records, Discretize(series, options));
+  GVA_ASSIGN_OR_RETURN(out.grammar,
+                       InferGrammarFromWords(out.records.words));
+  out.intervals = MapRuleIntervals(out.grammar.grammar, out.records,
+                                   options.window, series.size());
+  out.density = RuleDensityCurve(out.intervals, series.size());
+  return out;
+}
+
+}  // namespace gva

@@ -1,0 +1,359 @@
+#include "core/rra.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "discord/distance.h"
+#include "util/rng.h"
+
+namespace gva {
+
+namespace {
+
+/// Candidate list assembled from the decomposition: rule intervals plus
+/// zero-coverage gaps, with basic sanity filtering.
+std::vector<RuleInterval> BuildCandidates(
+    const GrammarDecomposition& decomposition, const RraOptions& options) {
+  std::vector<RuleInterval> candidates;
+  candidates.reserve(decomposition.intervals.size() + 8);
+  const size_t m = decomposition.series_length;
+  for (const RuleInterval& ri : decomposition.intervals) {
+    if (ri.span.length() >= 2 && ri.span.end <= m) {
+      candidates.push_back(ri);
+    }
+  }
+  if (options.include_gap_intervals) {
+    size_t min_gap = options.min_gap_length;
+    if (min_gap == 0) {  // auto: one PAA segment
+      min_gap = std::max<size_t>(
+          2, decomposition.window / std::max<size_t>(1, options.sax.paa_size));
+    }
+    min_gap = std::max<size_t>(2, min_gap);
+    for (const RuleInterval& gap :
+         ZeroCoverageIntervals(decomposition.density, min_gap)) {
+      if (options.drop_boundary_gaps &&
+          (gap.span.start == 0 || gap.span.end >= m)) {
+        continue;
+      }
+      candidates.push_back(gap);
+    }
+  }
+  return candidates;
+}
+
+struct SearchState {
+  const std::vector<RuleInterval>* candidates = nullptr;
+  std::vector<size_t> outer_order;
+  std::vector<size_t> inner_random;
+  // rule id -> candidate indices, for the "same rule first" inner phase.
+  std::unordered_map<int32_t, std::vector<size_t>> by_rule;
+  // Every series position, pre-shuffled: the exhaustive inner tail. The
+  // interval starts only quantize the alignment; a candidate that survives
+  // them is verified against every sliding-window subsequence (with early
+  // abandoning), which keeps the reported discord exact.
+  std::vector<size_t> all_positions_random;
+};
+
+SearchState BuildOrders(const std::vector<RuleInterval>& candidates,
+                        size_t series_length, uint64_t seed) {
+  SearchState state;
+  state.candidates = &candidates;
+  state.outer_order.resize(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    state.outer_order[i] = i;
+  }
+  Rng rng(seed);
+  rng.Shuffle(state.outer_order);
+  // Ascending rule frequency: gaps (frequency 0) first — the most likely
+  // anomalies are visited early, raising best_so_far quickly.
+  std::stable_sort(state.outer_order.begin(), state.outer_order.end(),
+                   [&](size_t a, size_t b) {
+                     return candidates[a].rule_frequency <
+                            candidates[b].rule_frequency;
+                   });
+  state.inner_random = state.outer_order;
+  rng.Shuffle(state.inner_random);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    state.by_rule[candidates[i].rule].push_back(i);
+  }
+  state.all_positions_random.resize(series_length);
+  for (size_t i = 0; i < series_length; ++i) {
+    state.all_positions_random[i] = i;
+  }
+  rng.Shuffle(state.all_positions_random);
+  return state;
+}
+
+/// One discord-search round (Algorithm 1). Returns false when no remaining
+/// candidate has a finite nearest-neighbor distance.
+/// Cross-round memo of each candidate's nearest-neighbor distance: an upper
+/// bound from partial scans, exact when a full scan completed. Later top-k
+/// rounds prune against it without spending distance calls.
+struct NnCache {
+  std::vector<double> upper;   // true nn <= upper
+  std::vector<bool> exact;     // upper IS the true nn
+  std::vector<size_t> nn_pos;  // neighbor achieving `upper`
+};
+
+bool FindBestDiscord(const SubsequenceDistance& dist, const SearchState& state,
+                     const std::vector<bool>& excluded, bool normalize,
+                     bool exact_nn, size_t refine_delta, NnCache& cache,
+                     DiscordRecord* best) {
+  const std::vector<RuleInterval>& candidates = *state.candidates;
+  const size_t m = dist.series_length();
+
+  double best_dist = -1.0;
+  const RuleInterval* best_interval = nullptr;
+  size_t best_nn = 0;
+
+  for (size_t ci : state.outer_order) {
+    if (excluded[ci]) {
+      continue;
+    }
+    // Re-use knowledge from earlier rounds.
+    if (cache.upper[ci] < best_dist) {
+      continue;  // true nn <= upper < best: cannot win
+    }
+    if (cache.exact[ci]) {
+      if (cache.upper[ci] > best_dist &&
+          cache.upper[ci] != SubsequenceDistance::kInfinity) {
+        best_dist = cache.upper[ci];
+        best_interval = &candidates[ci];
+        best_nn = cache.nn_pos[ci];
+      }
+      continue;
+    }
+    const RuleInterval& cand = candidates[ci];
+    const size_t p = cand.span.start;
+    const size_t len = cand.span.length();
+    const double norm = normalize ? static_cast<double>(len) : 1.0;
+
+    double nn = SubsequenceDistance::kInfinity;  // normalized units
+    size_t nn_q = 0;
+    bool pruned = false;
+    if (cache.upper[ci] != SubsequenceDistance::kInfinity) {
+      // Partial knowledge from an earlier round tightens the abandon limit
+      // from the first call.
+      nn = cache.upper[ci];
+      nn_q = cache.nn_pos[ci];
+    }
+
+    auto visit_position = [&](size_t q) {
+      if (q + len > m) {
+        return true;  // neighbor window does not fit
+      }
+      const size_t gap = p > q ? p - q : q - p;
+      if (gap < len) {
+        return true;  // self match (|p0 - q0| < Length(p))
+      }
+      const double limit_raw =
+          nn == SubsequenceDistance::kInfinity ? nn : nn * norm;
+      const double raw = dist.Distance(p, q, len, limit_raw);
+      const double d = raw / norm;
+      if (d < nn) {
+        nn = d;
+        nn_q = q;
+        if (nn < best_dist) {
+          pruned = true;  // candidate cannot beat the best so far
+          return false;
+        }
+      }
+      return true;
+    };
+    auto visit = [&](size_t qi) {
+      return visit_position(candidates[qi].span.start);
+    };
+    // Local alignment refinement around the current nearest neighbor.
+    // Interval starts quantize the alignment space (numerosity reduction
+    // keeps roughly one start per PAA segment), so an aligned neighbor is
+    // usually a few samples off its true optimum; probing around it costs a
+    // handful of calls and prunes candidates that only look anomalous
+    // because of alignment noise.
+    auto refine = [&]() {
+      if (pruned || nn == SubsequenceDistance::kInfinity) {
+        return;
+      }
+      const size_t center = nn_q;
+      for (size_t off = 1; off <= refine_delta && !pruned; ++off) {
+        if (center >= off && !visit_position(center - off)) {
+          break;
+        }
+        if (!pruned && !visit_position(center + off)) {
+          break;
+        }
+      }
+    };
+
+    // Inner phase 1: occurrences of the same rule — highly similar by
+    // construction, most likely to abandon the candidate early — then
+    // refine the alignment around the best of them.
+    auto rule_it = state.by_rule.find(cand.rule);
+    if (rule_it != state.by_rule.end() && cand.rule >= 0) {
+      for (size_t qi : rule_it->second) {
+        if (qi != ci && !visit(qi)) {
+          break;
+        }
+      }
+      if (exact_nn) {
+        refine();
+      }
+    }
+    // Inner phase 2: the other rule intervals, random order, followed by
+    // another refinement pass if the nearest neighbor moved.
+    if (!pruned) {
+      const size_t nn_before = nn_q;
+      for (size_t qi : state.inner_random) {
+        if (qi == ci ||
+            (cand.rule >= 0 && candidates[qi].rule == cand.rule)) {
+          continue;
+        }
+        if (!visit(qi)) {
+          break;
+        }
+      }
+      if (exact_nn && !pruned && nn_q != nn_before) {
+        refine();
+      }
+    }
+    // Inner phase 3: every remaining sliding-window position, random order.
+    // A candidate that is still promising here is verified exhaustively so
+    // the reported discord distance is its true nearest-non-self-match
+    // distance. Early abandoning keeps this phase cheap: one neighbor below
+    // best_so_far prunes the candidate.
+    if (exact_nn && !pruned) {
+      for (size_t q : state.all_positions_random) {
+        if (!visit_position(q)) {
+          break;
+        }
+      }
+    }
+
+    // Record what this scan learned for later rounds: `nn` upper-bounds the
+    // true nearest-neighbor distance, and is exact when the exhaustive
+    // phase completed.
+    if (nn < cache.upper[ci]) {
+      cache.upper[ci] = nn;
+      cache.nn_pos[ci] = nn_q;
+    }
+    if (!pruned) {
+      cache.exact[ci] = true;
+    }
+
+    if (!pruned && nn != SubsequenceDistance::kInfinity && nn > best_dist) {
+      best_dist = nn;
+      best_interval = &cand;
+      best_nn = nn_q;
+    }
+  }
+
+  if (best_interval == nullptr) {
+    return false;
+  }
+  *best = DiscordRecord{best_interval->span.start,
+                        best_interval->span.length(), best_dist, best_nn,
+                        best_interval->rule};
+  return true;
+}
+
+}  // namespace
+
+StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
+    std::span<const double> series, const GrammarDecomposition& decomposition,
+    const RraOptions& options) {
+  if (options.top_k == 0) {
+    return Status::InvalidArgument("top_k must be >= 1");
+  }
+  if (series.size() != decomposition.series_length) {
+    return Status::InvalidArgument(
+        "series/decomposition length mismatch");
+  }
+  std::vector<RuleInterval> candidates =
+      BuildCandidates(decomposition, options);
+  DiscordResult result;
+  if (candidates.empty()) {
+    return result;
+  }
+  SearchState state =
+      BuildOrders(candidates, series.size(), options.seed);
+  SubsequenceDistance dist(series, options.sax.znorm_epsilon);
+  std::vector<bool> excluded(candidates.size(), false);
+  NnCache cache;
+  cache.upper.assign(candidates.size(), SubsequenceDistance::kInfinity);
+  cache.exact.assign(candidates.size(), false);
+  cache.nn_pos.assign(candidates.size(), 0);
+
+  for (size_t k = 0; k < options.top_k; ++k) {
+    DiscordRecord best;
+    // Alignment-refinement radius: half a PAA segment on each side covers
+    // the quantization introduced by numerosity reduction.
+    const size_t refine_delta = std::max<size_t>(
+        2, options.sax.window / std::max<size_t>(1, 2 * options.sax.paa_size));
+    if (!FindBestDiscord(dist, state, excluded, options.normalize_by_length,
+                         options.exact_nearest_neighbor, refine_delta, cache,
+                         &best)) {
+      break;
+    }
+    result.discords.push_back(best);
+    // Exclude candidates overlapping the discovered discord.
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].span.Overlaps(best.span())) {
+        excluded[i] = true;
+      }
+    }
+  }
+  result.distance_calls = dist.calls();
+  return result;
+}
+
+StatusOr<RraDetection> FindRraDiscords(std::span<const double> series,
+                                       const RraOptions& options) {
+  RraDetection detection;
+  GVA_ASSIGN_OR_RETURN(detection.decomposition,
+                       DecomposeSeries(series, options.sax));
+  GVA_ASSIGN_OR_RETURN(
+      detection.result,
+      FindRraDiscordsInDecomposition(series, detection.decomposition,
+                                     options));
+  return detection;
+}
+
+std::vector<double> IntervalNnDistances(std::span<const double> series,
+                                        const std::vector<RuleInterval>& all,
+                                        bool normalize_by_length) {
+  SubsequenceDistance dist(series);
+  const size_t m = series.size();
+  std::vector<double> result(all.size(), SubsequenceDistance::kInfinity);
+  for (size_t i = 0; i < all.size(); ++i) {
+    const size_t p = all[i].span.start;
+    const size_t len = all[i].span.length();
+    if (len < 2 || p + len > m) {
+      continue;
+    }
+    const double norm =
+        normalize_by_length ? static_cast<double>(len) : 1.0;
+    double nn = SubsequenceDistance::kInfinity;
+    for (size_t j = 0; j < all.size(); ++j) {
+      if (j == i) {
+        continue;
+      }
+      const size_t q = all[j].span.start;
+      if (q + len > m) {
+        continue;
+      }
+      const size_t gap = p > q ? p - q : q - p;
+      if (gap < len) {
+        continue;
+      }
+      const double limit_raw =
+          nn == SubsequenceDistance::kInfinity ? nn : nn * norm;
+      const double d = dist.Distance(p, q, len, limit_raw) / norm;
+      if (d < nn) {
+        nn = d;
+      }
+    }
+    result[i] = nn;
+  }
+  return result;
+}
+
+}  // namespace gva

@@ -1,0 +1,81 @@
+#ifndef GVA_CORE_RRA_H_
+#define GVA_CORE_RRA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "discord/discord_record.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Options for the RRA (Rare Rule Anomaly) exact discord search
+/// (paper Section 4.2, Algorithm 1).
+struct RraOptions {
+  /// Discretization parameters; the window is only a "seed" size — reported
+  /// discords may be shorter or longer.
+  SaxOptions sax;
+  /// How many (non-overlapping) variable-length discords to report.
+  size_t top_k = 1;
+  /// Seed for the randomized tail of the inner/outer orderings.
+  uint64_t seed = 0x5eedu;
+  /// Zero-coverage runs of the density curve shorter than this are not
+  /// added as candidate intervals. 0 means automatic: one PAA segment
+  /// (window / paa_size) — anything shorter is sub-symbol noise.
+  size_t min_gap_length = 0;
+  /// Drop zero-coverage gaps touching the series boundary. The density
+  /// curve always ramps to zero at the edges (fewer windows cover them), so
+  /// boundary gaps are artifacts, not anomalies.
+  bool drop_boundary_gaps = true;
+  /// Whether zero-coverage gaps are added at all (frequency 0, visited
+  /// first; this is how anomalies that never made it into a rule are found).
+  bool include_gap_intervals = true;
+  /// Use the length-normalized Euclidean distance of paper Eq. (1). When
+  /// false, raw z-normalized Euclidean distance is used (longer intervals
+  /// then dominate the ranking).
+  bool normalize_by_length = true;
+  /// When true (default), candidates that survive the interval-aligned
+  /// inner phases are verified against every sliding-window position (with
+  /// early abandoning), so the reported discord distance is exact. When
+  /// false the inner loop stops at the rule-interval starts — the
+  /// approximate behaviour of the original GrammarViz RRA, cheaper but
+  /// sensitive to alignment quantization.
+  bool exact_nearest_neighbor = true;
+};
+
+/// Full RRA output: the grammar decomposition plus the ranked discords and
+/// the distance-call count.
+struct RraDetection {
+  GrammarDecomposition decomposition;
+  DiscordResult result;
+};
+
+/// Runs the complete RRA pipeline: decompose the series (SAX + Sequitur +
+/// interval mapping), then search the rule intervals for the subsequences
+/// with the largest nearest-non-self-match distances. The outer loop visits
+/// intervals in ascending rule-use frequency (gaps first), the inner loop
+/// visits same-rule siblings first and the rest in random order, with
+/// HOTSAX-style early abandoning.
+StatusOr<RraDetection> FindRraDiscords(std::span<const double> series,
+                                       const RraOptions& options);
+
+/// The search step alone, over an existing decomposition. Used by the
+/// parameter-grid experiment (Figure 10) where both detectors share one
+/// decomposition per parameter combination.
+StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
+    std::span<const double> series, const GrammarDecomposition& decomposition,
+    const RraOptions& options);
+
+/// For every rule interval, its (normalized) distance to the nearest
+/// non-self match among the other intervals — the bottom panels of the
+/// paper's Figures 2 and 3. Exhaustive (no pruning); intended for plots and
+/// diagnostics, not for the search itself.
+std::vector<double> IntervalNnDistances(std::span<const double> series,
+                                        const std::vector<RuleInterval>& all,
+                                        bool normalize_by_length = true);
+
+}  // namespace gva
+
+#endif  // GVA_CORE_RRA_H_

@@ -1,0 +1,85 @@
+#include "core/rule_density_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gva {
+
+std::vector<DensityAnomaly> FindLowDensityIntervals(
+    const std::vector<uint32_t>& density, size_t window,
+    const DensityAnomalyOptions& options) {
+  std::vector<DensityAnomaly> anomalies;
+  if (density.empty()) {
+    return anomalies;
+  }
+  size_t lo = 0;
+  size_t hi = density.size();
+  if (options.exclude_edges && density.size() > 2 * window) {
+    lo = window;
+    hi = density.size() - window;
+  }
+  if (lo >= hi) {
+    return anomalies;
+  }
+
+  uint32_t min_d = density[lo];
+  uint32_t max_d = density[lo];
+  for (size_t i = lo; i < hi; ++i) {
+    min_d = std::min(min_d, density[i]);
+    max_d = std::max(max_d, density[i]);
+  }
+  const double threshold =
+      static_cast<double>(min_d) +
+      options.threshold_fraction * static_cast<double>(max_d - min_d);
+
+  // Collect maximal runs with density <= threshold.
+  size_t i = lo;
+  while (i < hi) {
+    if (static_cast<double>(density[i]) > threshold) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    uint32_t run_min = density[i];
+    double run_sum = 0.0;
+    while (j < hi && static_cast<double>(density[j]) <= threshold) {
+      run_min = std::min(run_min, density[j]);
+      run_sum += density[j];
+      ++j;
+    }
+    if (j - i >= options.min_length) {
+      anomalies.push_back(DensityAnomaly{
+          Interval{i, j}, run_min, run_sum / static_cast<double>(j - i), 0});
+    }
+    i = j;
+  }
+
+  std::stable_sort(anomalies.begin(), anomalies.end(),
+                   [](const DensityAnomaly& a, const DensityAnomaly& b) {
+                     if (a.mean_density != b.mean_density) {
+                       return a.mean_density < b.mean_density;
+                     }
+                     return a.span.length() > b.span.length();
+                   });
+  if (anomalies.size() > options.max_anomalies) {
+    anomalies.resize(options.max_anomalies);
+  }
+  for (size_t r = 0; r < anomalies.size(); ++r) {
+    anomalies[r].rank = r;
+  }
+  return anomalies;
+}
+
+StatusOr<DensityDetection> DetectDensityAnomalies(
+    std::span<const double> series, const SaxOptions& sax,
+    const DensityAnomalyOptions& options) {
+  DensityDetection result;
+  GVA_ASSIGN_OR_RETURN(result.decomposition, DecomposeSeries(series, sax));
+  result.anomalies = FindLowDensityIntervals(result.decomposition.density,
+                                             sax.window, options);
+  return result;
+}
+
+}  // namespace gva

@@ -1,0 +1,64 @@
+#ifndef GVA_CORE_RULE_DENSITY_DETECTOR_H_
+#define GVA_CORE_RULE_DENSITY_DETECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "timeseries/interval.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Options for the rule density-based anomaly discovery (paper Section 4.1).
+struct DensityAnomalyOptions {
+  /// Density threshold as a fraction of the curve's range:
+  /// threshold = min + fraction * (max - min). 0 keeps strictly the global
+  /// minima; the paper's "given a fixed threshold, it simply reports
+  /// contiguous points whose density is less than the threshold value".
+  double threshold_fraction = 0.0;
+  /// Anomalous runs shorter than this are dropped (the optional "minimal
+  /// anomaly length" ranking criterion the paper mentions).
+  size_t min_length = 1;
+  /// Skip the first/last window points: the curve ramps down at the series
+  /// boundaries simply because fewer windows cover them.
+  bool exclude_edges = true;
+  /// Keep at most this many anomalies (ranked by mean density ascending).
+  size_t max_anomalies = 10;
+};
+
+/// One low-density interval reported as a (putative) anomaly.
+struct DensityAnomaly {
+  Interval span;
+  /// Smallest density value inside the interval.
+  uint32_t min_density = 0;
+  /// Mean density inside the interval — the ranking key (lower = more
+  /// anomalous).
+  double mean_density = 0.0;
+  /// 0 = most anomalous.
+  size_t rank = 0;
+};
+
+/// Full detection output: the curve itself plus the ranked anomalies.
+struct DensityDetection {
+  GrammarDecomposition decomposition;
+  std::vector<DensityAnomaly> anomalies;
+};
+
+/// Runs the rule density-based anomaly discovery: decompose, build the
+/// density curve, and report the lowest-density intervals. Linear time and
+/// space in the series length (paper Section 4.1).
+StatusOr<DensityDetection> DetectDensityAnomalies(
+    std::span<const double> series, const SaxOptions& sax,
+    const DensityAnomalyOptions& options = {});
+
+/// The anomaly-extraction step alone, for callers that already have a
+/// density curve. `window` is only used for edge exclusion.
+std::vector<DensityAnomaly> FindLowDensityIntervals(
+    const std::vector<uint32_t>& density, size_t window,
+    const DensityAnomalyOptions& options);
+
+}  // namespace gva
+
+#endif  // GVA_CORE_RULE_DENSITY_DETECTOR_H_

@@ -1,0 +1,84 @@
+#include "core/streaming.h"
+
+#include "sax/mindist.h"
+#include "timeseries/sliding_window.h"
+
+namespace gva {
+
+StatusOr<StreamingAnomalyMonitor> StreamingAnomalyMonitor::Create(
+    const StreamingOptions& options) {
+  GVA_RETURN_IF_ERROR(options.sax.Validate());
+  return StreamingAnomalyMonitor(options);
+}
+
+void StreamingAnomalyMonitor::Push(double value) {
+  series_.push_back(value);
+  const size_t window = options_.sax.window;
+  if (series_.size() < window) {
+    return;
+  }
+  // The newest complete window starts at series_.size() - window.
+  const size_t pos = series_.size() - window;
+  std::string word = SaxWordForWindow(
+      std::span<const double>(series_).subspan(pos, window), options_.sax,
+      alphabet_);
+
+  bool keep = true;
+  if (!words_.empty()) {
+    const std::string& prev = words_.back();
+    switch (options_.sax.numerosity) {
+      case NumerosityReduction::kNone:
+        break;
+      case NumerosityReduction::kExact:
+        keep = (word != prev);
+        break;
+      case NumerosityReduction::kMinDist:
+        keep = !MinDistIsZero(word, prev, alphabet_);
+        break;
+    }
+  }
+  if (!keep) {
+    return;
+  }
+  auto [it, inserted] = vocabulary_.emplace(
+      word, static_cast<int32_t>(vocabulary_list_.size()));
+  if (inserted) {
+    vocabulary_list_.push_back(word);
+  }
+  const Status status = sequitur_.Append(it->second);
+  GVA_DCHECK(status.ok());
+  tokens_.push_back(it->second);
+  words_.push_back(std::move(word));
+  offsets_.push_back(pos);
+}
+
+void StreamingAnomalyMonitor::PushAll(std::span<const double> values) {
+  for (double v : values) {
+    Push(v);
+  }
+}
+
+StatusOr<DensityDetection> StreamingAnomalyMonitor::Report() const {
+  if (series_.size() < options_.sax.window) {
+    return Status::FailedPrecondition(
+        "not enough samples for one window yet");
+  }
+  DensityDetection detection;
+  GrammarDecomposition& d = detection.decomposition;
+  d.series_length = series_.size();
+  d.window = options_.sax.window;
+  d.records.words = words_;
+  d.records.offsets = offsets_;
+  d.grammar.grammar = sequitur_.ExtractGrammar();
+  d.grammar.vocabulary = vocabulary_list_;
+  d.grammar.tokens = tokens_;
+  d.intervals = MapRuleIntervals(d.grammar.grammar, d.records,
+                                 options_.sax.window, series_.size());
+  d.density = RuleDensityCurve(d.intervals, series_.size());
+  detection.anomalies =
+      FindLowDensityIntervals(d.density, options_.sax.window,
+                              options_.density);
+  return detection;
+}
+
+}  // namespace gva

@@ -1,0 +1,76 @@
+#ifndef GVA_CORE_STREAMING_H_
+#define GVA_CORE_STREAMING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rule_density_detector.h"
+#include "grammar/sequitur.h"
+#include "sax/sax_transform.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Options for the streaming rule-density monitor.
+struct StreamingOptions {
+  /// Discretization parameters; window is the rolling window length.
+  SaxOptions sax;
+  /// Anomaly extraction parameters applied on each report.
+  DensityAnomalyOptions density;
+};
+
+/// Online rule-density anomaly monitoring — the paper's Section 7 points
+/// out that both SAX and Sequitur process the input left to right, enabling
+/// early anomaly detection on streams; this class realizes that: samples
+/// are pushed one at a time, each completed window is discretized, reduced
+/// and fed to an incremental Sequitur, and a density report over the data
+/// seen so far can be requested at any moment.
+///
+/// The report is bit-for-bit identical to running the batch detector on the
+/// same prefix (see StreamingTest.MatchesBatchDetection): streaming changes
+/// *when* work happens, never the result.
+class StreamingAnomalyMonitor {
+ public:
+  /// Validates the options.
+  static StatusOr<StreamingAnomalyMonitor> Create(
+      const StreamingOptions& options);
+
+  /// Feeds one sample. Amortized O(window) (one SAX word per sample once
+  /// the window is full).
+  void Push(double value);
+
+  /// Feeds a batch of samples.
+  void PushAll(std::span<const double> values);
+
+  /// Samples consumed so far.
+  size_t samples_seen() const { return series_.size(); }
+
+  /// SAX words kept after numerosity reduction so far.
+  size_t tokens_emitted() const { return offsets_.size(); }
+
+  /// Extracts the current grammar, maps rules onto the prefix seen so far,
+  /// and returns the density detection over it. O(prefix) — intended to be
+  /// called every so often, not per sample.
+  StatusOr<DensityDetection> Report() const;
+
+ private:
+  explicit StreamingAnomalyMonitor(const StreamingOptions& options)
+      : options_(options), alphabet_(options.sax.alphabet_size) {}
+
+  StreamingOptions options_;
+  NormalAlphabet alphabet_;
+  std::vector<double> series_;  // full prefix (the detectors need it)
+  // Discretization state: kept words/offsets after numerosity reduction,
+  // their token ids, and the vocabulary in first-occurrence order.
+  std::vector<std::string> words_;
+  std::vector<size_t> offsets_;
+  std::vector<int32_t> tokens_;
+  std::vector<std::string> vocabulary_list_;
+  std::unordered_map<std::string, int32_t> vocabulary_;
+  IncrementalSequitur sequitur_;
+};
+
+}  // namespace gva
+
+#endif  // GVA_CORE_STREAMING_H_

@@ -1,0 +1,87 @@
+#include "datasets/ecg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace gva {
+
+namespace {
+
+double Bump(double t, double center, double width, double amplitude) {
+  const double d = (t - center) / width;
+  return amplitude * std::exp(-0.5 * d * d);
+}
+
+/// Normal beat morphology on t in [0, 1). Wave widths are proportioned like
+/// a 250 Hz qtdb beat (QRS roughly a tenth of the cycle) so that the
+/// z-normalized shape is tolerant of the small beat-length jitter — narrow
+/// spike-like waves would make every beat pair look distant under small
+/// misalignment and drown structural anomalies in alignment noise.
+double NormalBeat(double t) {
+  double v = 0.0;
+  v += Bump(t, 0.18, 0.050, 0.15);   // P wave
+  v += Bump(t, 0.35, 0.018, -0.12);  // Q
+  v += Bump(t, 0.40, 0.028, 1.00);   // R
+  v += Bump(t, 0.45, 0.018, -0.20);  // S
+  v += Bump(t, 0.62, 0.070, 0.35);   // T wave
+  return v;
+}
+
+/// Premature-ventricular-contraction-like beat: no P wave, early wide
+/// low-amplitude R, depressed ST segment and inverted T.
+double AnomalousBeat(double t) {
+  double v = 0.0;
+  v += Bump(t, 0.32, 0.060, 0.60);   // early, wide, smaller R
+  v += Bump(t, 0.44, 0.040, -0.35);  // deep S / depressed ST
+  v += Bump(t, 0.62, 0.080, -0.30);  // inverted T
+  return v;
+}
+
+}  // namespace
+
+LabeledSeries MakeEcg(const EcgOptions& options) {
+  Rng rng(options.seed);
+  LabeledSeries out;
+  out.name = "synthetic-ecg";
+  std::vector<double>& values = out.series.mutable_values();
+  values.reserve(options.num_beats * options.beat_length);
+
+  for (size_t beat = 0; beat < options.num_beats; ++beat) {
+    const bool anomalous =
+        std::find(options.anomalous_beats.begin(),
+                  options.anomalous_beats.end(),
+                  beat) != options.anomalous_beats.end();
+    const double jitter =
+        1.0 + options.length_jitter * (2.0 * rng.UniformDouble() - 1.0);
+    const size_t len = std::max<size_t>(
+        8, static_cast<size_t>(
+               std::lround(static_cast<double>(options.beat_length) * jitter)));
+    const size_t start = values.size();
+    const double beat_gain =
+        1.0 + options.amplitude_modulation * (2.0 * rng.UniformDouble() - 1.0);
+    for (size_t i = 0; i < len; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(len);
+      const double base = anomalous ? AnomalousBeat(t) : NormalBeat(t);
+      const double global_t = static_cast<double>(start + i);
+      const double wander =
+          options.baseline_wander *
+          std::sin(2.0 * M_PI * global_t /
+                   (6.7 * static_cast<double>(options.beat_length)));
+      values.push_back(beat_gain * base + wander +
+                       rng.Gaussian(0.0, options.noise));
+    }
+    if (anomalous) {
+      out.anomalies.push_back(Interval{start, values.size()});
+    }
+  }
+
+  out.recommended.window = options.beat_length;
+  out.recommended.paa_size = 4;
+  out.recommended.alphabet_size = 4;
+  out.series.set_name(out.name);
+  return out;
+}
+
+}  // namespace gva

@@ -1,0 +1,38 @@
+#ifndef GVA_DATASETS_ECG_H_
+#define GVA_DATASETS_ECG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/labeled_series.h"
+
+namespace gva {
+
+/// Parameters for the synthetic electrocardiogram generator — the stand-in
+/// for the paper's PhysioNet qtdb/MIT-BIH excerpts. A normal beat is a
+/// P-QRS-T morphology built from Gaussian bumps; anomalous beats are
+/// premature-ventricular-contraction-like (no P wave, wide early R,
+/// inverted T), the same class of subtle one-beat deviation the paper's
+/// Figure 2 targets.
+struct EcgOptions {
+  size_t num_beats = 60;
+  /// Nominal samples per beat; per-beat length jitters by +/- jitter
+  /// (resting heart-rate variability over a short strip is ~1%).
+  size_t beat_length = 120;
+  double length_jitter = 0.01;
+  double noise = 0.01;
+  /// Slow baseline wander (respiration artifact), as an absolute amplitude;
+  /// period is several beats. Present in every real recording.
+  double baseline_wander = 0.0;
+  /// Beat-to-beat R-amplitude modulation, as a fraction.
+  double amplitude_modulation = 0.0;
+  /// Indices of beats replaced with the anomalous morphology.
+  std::vector<size_t> anomalous_beats = {40};
+  uint64_t seed = 42;
+};
+
+LabeledSeries MakeEcg(const EcgOptions& options = {});
+
+}  // namespace gva
+
+#endif  // GVA_DATASETS_ECG_H_

@@ -1,0 +1,27 @@
+#ifndef GVA_DATASETS_LABELED_SERIES_H_
+#define GVA_DATASETS_LABELED_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "sax/sax_transform.h"
+#include "timeseries/interval.h"
+#include "timeseries/time_series.h"
+
+namespace gva {
+
+/// A synthetic dataset with ground-truth anomaly annotations and the
+/// discretization parameters recommended for it (mirroring the per-dataset
+/// parameters of the paper's Table 1, scaled to the synthetic lengths).
+struct LabeledSeries {
+  TimeSeries series;
+  /// Ground-truth anomalous intervals, ascending by start.
+  std::vector<Interval> anomalies;
+  /// Discretization parameters that suit the dataset's dominant cycle.
+  SaxOptions recommended;
+  std::string name;
+};
+
+}  // namespace gva
+
+#endif  // GVA_DATASETS_LABELED_SERIES_H_

@@ -1,0 +1,65 @@
+#include "datasets/power_demand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace gva {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Working-day demand profile over hour-of-day in [0, 24): low overnight
+/// base, steep morning ramp, daytime plateau, evening decline.
+double WeekdayProfile(double hour) {
+  return 0.25 + 0.75 * Sigmoid((hour - 7.0) / 0.8) *
+                    Sigmoid((18.0 - hour) / 1.2);
+}
+
+/// Weekend / holiday profile: base load with a faint midday bump.
+double WeekendProfile(double hour) {
+  return 0.25 + 0.08 * Sigmoid((hour - 9.0) / 1.5) *
+                    Sigmoid((17.0 - hour) / 2.0);
+}
+
+}  // namespace
+
+LabeledSeries MakePowerDemand(const PowerDemandOptions& options) {
+  Rng rng(options.seed);
+  LabeledSeries out;
+  out.name = "synthetic-power-demand";
+  const size_t days = options.weeks * 7;
+  std::vector<double>& values = out.series.mutable_values();
+  values.reserve(days * options.samples_per_day);
+
+  for (size_t day = 0; day < days; ++day) {
+    const bool weekend = (day % 7) >= 5;
+    const bool holiday =
+        std::find(options.holiday_days.begin(), options.holiday_days.end(),
+                  day) != options.holiday_days.end();
+    const bool low_profile = weekend || holiday;
+    const size_t start = values.size();
+    for (size_t s = 0; s < options.samples_per_day; ++s) {
+      const double hour = 24.0 * static_cast<double>(s) /
+                          static_cast<double>(options.samples_per_day);
+      const double base =
+          low_profile ? WeekendProfile(hour) : WeekdayProfile(hour);
+      values.push_back(base + rng.Gaussian(0.0, options.noise));
+    }
+    if (holiday && !weekend) {
+      out.anomalies.push_back(Interval{start, values.size()});
+    }
+  }
+
+  // One week is the dominant cycle, as in the paper (W=750 for 672
+  // samples/week there; here the window is exactly one week).
+  out.recommended.window = 7 * options.samples_per_day;
+  out.recommended.paa_size = 7;
+  out.recommended.alphabet_size = 4;
+  out.series.set_name(out.name);
+  return out;
+}
+
+}  // namespace gva

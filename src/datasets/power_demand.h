@@ -1,0 +1,33 @@
+#ifndef GVA_DATASETS_POWER_DEMAND_H_
+#define GVA_DATASETS_POWER_DEMAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/labeled_series.h"
+
+namespace gva {
+
+/// Parameters for the synthetic power-demand generator — the stand-in for
+/// the Dutch research facility dataset (35,040 points, 1997; paper Figures
+/// 3-4). A year is `weeks` weeks of `samples_per_day` readings; weekdays
+/// carry a tall daytime consumption hump, weekends a low flat profile.
+/// Holidays are weekdays that behave like weekend days — exactly the
+/// anomalies the paper discovers (Queen's Birthday, Liberation Day,
+/// Ascension Day).
+struct PowerDemandOptions {
+  size_t weeks = 52;
+  size_t samples_per_day = 96;  // 15-minute readings
+  double noise = 0.015;
+  /// Absolute day indices (0-based from the first Monday) that behave like
+  /// weekend days. Defaults pick a Wednesday, a Monday and a Thursday in
+  /// three different spring weeks, mirroring the paper's three holidays.
+  std::vector<size_t> holiday_days = {121, 126, 129};
+  uint64_t seed = 1997;
+};
+
+LabeledSeries MakePowerDemand(const PowerDemandOptions& options = {});
+
+}  // namespace gva
+
+#endif  // GVA_DATASETS_POWER_DEMAND_H_

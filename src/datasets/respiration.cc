@@ -1,0 +1,43 @@
+#include "datasets/respiration.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace gva {
+
+LabeledSeries MakeRespiration(const RespirationOptions& options) {
+  Rng rng(options.seed);
+  LabeledSeries out;
+  out.name = "synthetic-respiration";
+  std::vector<double>& values = out.series.mutable_values();
+  values.reserve(options.length);
+
+  const size_t a0 = options.anomaly_start;
+  const size_t a1 = options.anomaly_start + options.anomaly_length;
+  double phase = 0.0;
+  for (size_t i = 0; i < options.length; ++i) {
+    const bool anomalous = i >= a0 && i < a1;
+    // Slow, shallow breathing inside the anomalous regime; phase is
+    // integrated so the frequency change is continuous.
+    const double period = anomalous ? options.period * 2.3 : options.period;
+    phase += 2.0 * M_PI / period;
+    const double drift =
+        1.0 + 0.08 * std::sin(2.0 * M_PI * static_cast<double>(i) /
+                              (options.period * 13.0));
+    const double amplitude = (anomalous ? 0.45 : 1.0) * drift;
+    values.push_back(amplitude * std::sin(phase) +
+                     rng.Gaussian(0.0, options.noise));
+  }
+  if (options.anomaly_length > 0 && a1 <= options.length) {
+    out.anomalies.push_back(Interval{a0, a1});
+  }
+
+  out.recommended.window = static_cast<size_t>(options.period * 2.0);
+  out.recommended.paa_size = 5;
+  out.recommended.alphabet_size = 4;
+  out.series.set_name(out.name);
+  return out;
+}
+
+}  // namespace gva

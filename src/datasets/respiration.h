@@ -1,0 +1,31 @@
+#ifndef GVA_DATASETS_RESPIRATION_H_
+#define GVA_DATASETS_RESPIRATION_H_
+
+#include <cstdint>
+
+#include "datasets/labeled_series.h"
+
+namespace gva {
+
+/// Parameters for the synthetic respiration generator — the stand-in for
+/// the NPRS 43/44 nasal-pressure traces (paper Table 1). Breathing is a
+/// quasi-sinusoid with slowly drifting amplitude; the anomaly is a
+/// regime change to slow, shallow breathing for a few breaths (the
+/// stage-II-sleep transition the original annotations mark).
+struct RespirationOptions {
+  size_t length = 4000;
+  /// Samples per normal breath.
+  double period = 64.0;
+  double noise = 0.01;
+  /// Start of the anomalous regime, in samples.
+  size_t anomaly_start = 2500;
+  /// Length of the anomalous regime, in samples.
+  size_t anomaly_length = 300;
+  uint64_t seed = 43;
+};
+
+LabeledSeries MakeRespiration(const RespirationOptions& options = {});
+
+}  // namespace gva
+
+#endif  // GVA_DATASETS_RESPIRATION_H_

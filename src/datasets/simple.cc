@@ -1,0 +1,74 @@
+#include "datasets/simple.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace gva {
+
+std::vector<double> MakeSine(size_t length, double period, double noise,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    values.push_back(
+        std::sin(2.0 * M_PI * static_cast<double>(i) / period) +
+        rng.Gaussian(0.0, noise));
+  }
+  return values;
+}
+
+LabeledSeries MakeSineWithAnomaly(size_t length, double period, double noise,
+                                  size_t anomaly_start, size_t anomaly_length,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  LabeledSeries out;
+  out.name = "sine-with-anomaly";
+  std::vector<double>& values = out.series.mutable_values();
+  values.reserve(length);
+  const size_t a0 = anomaly_start;
+  const size_t a1 = anomaly_start + anomaly_length;
+  for (size_t i = 0; i < length; ++i) {
+    double v;
+    if (i >= a0 && i < a1) {
+      v = rng.Gaussian(0.0, noise);  // the oscillation flatlines
+    } else {
+      v = std::sin(2.0 * M_PI * static_cast<double>(i) / period) +
+          rng.Gaussian(0.0, noise);
+    }
+    values.push_back(v);
+  }
+  if (anomaly_length > 0 && a1 <= length) {
+    out.anomalies.push_back(Interval{a0, a1});
+  }
+  out.recommended.window = static_cast<size_t>(period * 2.0);
+  out.recommended.paa_size = 4;
+  out.recommended.alphabet_size = 3;
+  out.series.set_name(out.name);
+  return out;
+}
+
+std::vector<double> MakeRandomWalk(size_t length, double step, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(length);
+  double position = 0.0;
+  for (size_t i = 0; i < length; ++i) {
+    position += rng.Gaussian(0.0, step);
+    values.push_back(position);
+  }
+  return values;
+}
+
+std::vector<double> MakeNoise(size_t length, double sigma, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    values.push_back(rng.Gaussian(0.0, sigma));
+  }
+  return values;
+}
+
+}  // namespace gva

@@ -1,0 +1,31 @@
+#ifndef GVA_DATASETS_SIMPLE_H_
+#define GVA_DATASETS_SIMPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/labeled_series.h"
+
+namespace gva {
+
+/// Noisy sinusoid — the simplest periodic test signal.
+std::vector<double> MakeSine(size_t length, double period, double noise,
+                             uint64_t seed);
+
+/// Noisy sinusoid with one planted anomaly: a `anomaly_length`-sample
+/// segment starting at `anomaly_start` where the oscillation is flattened
+/// to noise around zero. Used by quickstart and as a canonical test signal.
+LabeledSeries MakeSineWithAnomaly(size_t length, double period, double noise,
+                                  size_t anomaly_start, size_t anomaly_length,
+                                  uint64_t seed);
+
+/// Gaussian random walk (structureless; a hard case for any structural
+/// detector).
+std::vector<double> MakeRandomWalk(size_t length, double step, uint64_t seed);
+
+/// Pure Gaussian noise.
+std::vector<double> MakeNoise(size_t length, double sigma, uint64_t seed);
+
+}  // namespace gva
+
+#endif  // GVA_DATASETS_SIMPLE_H_

@@ -1,0 +1,70 @@
+#include "datasets/tek.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace gva {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Valve energize/de-energize pulse on t in [0, 1): idle, sharp rise,
+/// slowly decaying plateau, sharp drop with a small undershoot.
+double ValveCycle(double t) {
+  const double rise = Sigmoid((t - 0.30) / 0.008);
+  const double drop = Sigmoid((0.72 - t) / 0.008);
+  double v = rise * drop;
+  v *= 1.0 - 0.15 * std::max(0.0, (t - 0.30) / 0.42);  // plateau decay
+  // Undershoot after de-energize.
+  const double u = (t - 0.76) / 0.02;
+  v -= 0.12 * std::exp(-0.5 * u * u);
+  return v;
+}
+
+/// The anomalous cycle: a transient dropout in the middle of the plateau —
+/// the "poppet pulled significantly out of the solenoid" failure mode of
+/// the original TEK traces.
+double GlitchCycle(double t) {
+  double v = ValveCycle(t);
+  const double g = (t - 0.52) / 0.030;
+  v -= 0.55 * std::exp(-0.5 * g * g);
+  return v;
+}
+
+}  // namespace
+
+LabeledSeries MakeTek(const TekOptions& options) {
+  Rng rng(options.seed);
+  LabeledSeries out;
+  out.name = "synthetic-tek";
+  std::vector<double>& values = out.series.mutable_values();
+  values.reserve(options.num_cycles * options.cycle_length);
+
+  for (size_t cycle = 0; cycle < options.num_cycles; ++cycle) {
+    const bool anomalous =
+        std::find(options.anomalous_cycles.begin(),
+                  options.anomalous_cycles.end(),
+                  cycle) != options.anomalous_cycles.end();
+    const size_t start = values.size();
+    for (size_t i = 0; i < options.cycle_length; ++i) {
+      const double t =
+          static_cast<double>(i) / static_cast<double>(options.cycle_length);
+      const double base = anomalous ? GlitchCycle(t) : ValveCycle(t);
+      values.push_back(base + rng.Gaussian(0.0, options.noise));
+    }
+    if (anomalous) {
+      out.anomalies.push_back(Interval{start, values.size()});
+    }
+  }
+
+  out.recommended.window = options.cycle_length / 2;
+  out.recommended.paa_size = 4;
+  out.recommended.alphabet_size = 4;
+  out.series.set_name(out.name);
+  return out;
+}
+
+}  // namespace gva

@@ -1,0 +1,32 @@
+#ifndef GVA_DATASETS_TEK_H_
+#define GVA_DATASETS_TEK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/labeled_series.h"
+
+namespace gva {
+
+/// Parameters for the synthetic valve-telemetry generator — the stand-in
+/// for the Space Shuttle Marotta valve TEK series (paper Table 1,
+/// TEK14/16/17). Each cycle is an energize/de-energize pulse: sharp rise,
+/// decaying plateau, sharp drop with undershoot. The anomaly is one cycle
+/// with a mid-plateau dropout glitch.
+struct TekOptions {
+  size_t num_cycles = 20;
+  size_t cycle_length = 250;
+  /// Kept below the z-normalization flat-window epsilon (0.01): the TEK
+  /// traces have long truly-quiet stretches, and noise above the guard
+  /// would be amplified by z-normalization into spurious discords.
+  double noise = 0.005;
+  /// Cycles carrying the plateau glitch.
+  std::vector<size_t> anomalous_cycles = {11};
+  uint64_t seed = 14;
+};
+
+LabeledSeries MakeTek(const TekOptions& options = {});
+
+}  // namespace gva
+
+#endif  // GVA_DATASETS_TEK_H_

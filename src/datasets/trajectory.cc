@@ -1,0 +1,106 @@
+#include "datasets/trajectory.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace gva {
+
+namespace {
+
+/// Samples `count` points along the polyline `waypoints` at uniform arc
+/// length, with mild speed jitter and light positional noise.
+std::vector<GeoPoint> SamplePolyline(const std::vector<GeoPoint>& waypoints,
+                                     size_t count, double position_noise,
+                                     Rng& rng) {
+  GVA_CHECK_GE(waypoints.size(), 2u);
+  std::vector<double> cumulative{0.0};
+  for (size_t i = 1; i < waypoints.size(); ++i) {
+    const double dx = waypoints[i].x - waypoints[i - 1].x;
+    const double dy = waypoints[i].y - waypoints[i - 1].y;
+    cumulative.push_back(cumulative.back() + std::hypot(dx, dy));
+  }
+  const double total = cumulative.back();
+  std::vector<GeoPoint> points;
+  points.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    double s = total * static_cast<double>(k) / static_cast<double>(count);
+    // Speed jitter: up to 1% of the path length.
+    s += total * 0.01 * (rng.UniformDouble() - 0.5);
+    s = std::min(std::max(s, 0.0), total);
+    size_t seg = 1;
+    while (seg + 1 < cumulative.size() && cumulative[seg] < s) {
+      ++seg;
+    }
+    const double seg_len = cumulative[seg] - cumulative[seg - 1];
+    const double t =
+        seg_len > 0.0 ? (s - cumulative[seg - 1]) / seg_len : 0.0;
+    GeoPoint p{
+        waypoints[seg - 1].x + t * (waypoints[seg].x - waypoints[seg - 1].x),
+        waypoints[seg - 1].y + t * (waypoints[seg].y - waypoints[seg - 1].y)};
+    p.x += rng.Gaussian(0.0, position_noise);
+    p.y += rng.Gaussian(0.0, position_noise);
+    p.x = std::min(std::max(p.x, 0.0), 1.0);
+    p.y = std::min(std::max(p.y, 0.0), 1.0);
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace
+
+TrajectoryData MakeTrajectory(const TrajectoryOptions& options) {
+  Rng rng(options.seed);
+  TrajectoryData out;
+  out.labeled.name = "synthetic-trajectory";
+
+  const GeoPoint home{0.12, 0.12};
+  const GeoPoint work{0.80, 0.72};
+  // Two habitual routes (the weekly commute) ...
+  const std::vector<GeoPoint> route_a{home, {0.12, 0.72}, work};
+  const std::vector<GeoPoint> route_b{home, {0.80, 0.12}, work};
+  // ... and the unique detour: route A with an excursion through an
+  // otherwise unvisited corner of the map.
+  const std::vector<GeoPoint> detour{
+      home, {0.12, 0.72}, {0.45, 0.93}, {0.60, 0.93}, work};
+
+  std::vector<Interval> anomalies;
+  for (size_t trip = 0; trip < options.num_trips; ++trip) {
+    const bool is_detour = trip == options.detour_trip;
+    const bool is_noisy = trip == options.noisy_trip;
+    const std::vector<GeoPoint>* route = &route_a;
+    if (is_detour) {
+      route = &detour;
+    } else if (trip % 3 == 2) {  // every third trip takes route B
+      route = &route_b;
+    }
+    // Alternate commute direction.
+    std::vector<GeoPoint> waypoints = *route;
+    if (trip % 2 == 1) {
+      std::vector<GeoPoint> reversed(waypoints.rbegin(), waypoints.rend());
+      waypoints = std::move(reversed);
+    }
+    const double noise = is_noisy ? options.fix_noise : 0.004;
+    const size_t start = out.points.size();
+    std::vector<GeoPoint> sampled =
+        SamplePolyline(waypoints, options.samples_per_trip, noise, rng);
+    out.points.insert(out.points.end(), sampled.begin(), sampled.end());
+    if (is_detour || is_noisy) {
+      anomalies.push_back(Interval{start, out.points.size()});
+    }
+  }
+
+  const HilbertCurve curve(options.hilbert_order);
+  StatusOr<std::vector<double>> series =
+      TrajectoryToHilbertSeries(out.points, curve, 0.0, 1.0, 0.0, 1.0);
+  GVA_CHECK(series.ok()) << series.status().ToString();
+  out.labeled.series = TimeSeries(std::move(series).value(), out.labeled.name);
+  out.labeled.anomalies = std::move(anomalies);
+  out.labeled.recommended.window = options.samples_per_trip / 2;
+  out.labeled.recommended.paa_size = 15;
+  out.labeled.recommended.alphabet_size = 4;
+  return out;
+}
+
+}  // namespace gva

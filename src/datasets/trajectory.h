@@ -1,0 +1,47 @@
+#ifndef GVA_DATASETS_TRAJECTORY_H_
+#define GVA_DATASETS_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/labeled_series.h"
+#include "hilbert/hilbert.h"
+
+namespace gva {
+
+/// Parameters for the synthetic commute-trajectory generator — the stand-in
+/// for the paper's GPS case study (Section 5.1, Figures 7-9). Trips run
+/// between a home and a work location over a small set of habitual routes
+/// on a unit square; two special trips plant the paper's two anomaly
+/// classes:
+///  * a detour trip — a unique excursion through otherwise unvisited space
+///    (found by the rule-density curve in the paper);
+///  * a degraded-fix trip — the habitual route traversed with heavy GPS
+///    jitter (the paper's best RRA discord).
+struct TrajectoryOptions {
+  size_t num_trips = 24;
+  /// Nominal samples per trip.
+  size_t samples_per_trip = 700;
+  /// Trip index taking the unique detour; out-of-range disables it.
+  size_t detour_trip = 12;
+  /// Trip index travelled with degraded GPS fix; out-of-range disables it.
+  size_t noisy_trip = 18;
+  /// Standard deviation of the fix-loss jitter (fraction of the unit map).
+  double fix_noise = 0.035;
+  /// Hilbert curve order (paper: order 8).
+  uint32_t hilbert_order = 8;
+  uint64_t seed = 88;
+};
+
+/// Trajectory dataset: the Hilbert-transformed scalar series (with
+/// ground-truth intervals) plus the raw planar track for visualization.
+struct TrajectoryData {
+  LabeledSeries labeled;
+  std::vector<GeoPoint> points;
+};
+
+TrajectoryData MakeTrajectory(const TrajectoryOptions& options = {});
+
+}  // namespace gva
+
+#endif  // GVA_DATASETS_TRAJECTORY_H_

@@ -1,0 +1,72 @@
+#include "datasets/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace gva {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Normal draw gesture on t in [0, 1): rest, raise, hold steady, lower.
+double NormalCycle(double t) {
+  const double raise = Sigmoid((t - 0.25) / 0.03);
+  const double lower = Sigmoid((0.75 - t) / 0.03);
+  return 0.15 + 0.75 * raise * lower;
+}
+
+/// Hesitation gesture: the raise stalls and dips before completing, and the
+/// hold level wobbles — structurally unlike every other cycle.
+double AnomalousCycle(double t) {
+  const double raise = Sigmoid((t - 0.20) / 0.04);
+  const double lower = Sigmoid((0.78 - t) / 0.03);
+  double v = 0.15 + 0.55 * raise * lower;
+  // Mid-gesture fumble: a dip followed by a corrective overshoot.
+  const double dip = (t - 0.45) / 0.05;
+  v -= 0.28 * std::exp(-0.5 * dip * dip);
+  const double overshoot = (t - 0.60) / 0.04;
+  v += 0.18 * std::exp(-0.5 * overshoot * overshoot);
+  return v;
+}
+
+}  // namespace
+
+LabeledSeries MakeVideo(const VideoOptions& options) {
+  Rng rng(options.seed);
+  LabeledSeries out;
+  out.name = "synthetic-video";
+  std::vector<double>& values = out.series.mutable_values();
+  values.reserve(options.num_cycles * options.cycle_length);
+
+  for (size_t cycle = 0; cycle < options.num_cycles; ++cycle) {
+    const bool anomalous =
+        std::find(options.anomalous_cycles.begin(),
+                  options.anomalous_cycles.end(),
+                  cycle) != options.anomalous_cycles.end();
+    const double jitter =
+        1.0 + options.length_jitter * (2.0 * rng.UniformDouble() - 1.0);
+    const size_t len = std::max<size_t>(
+        16, static_cast<size_t>(std::lround(
+                static_cast<double>(options.cycle_length) * jitter)));
+    const size_t start = values.size();
+    for (size_t i = 0; i < len; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(len);
+      const double base = anomalous ? AnomalousCycle(t) : NormalCycle(t);
+      values.push_back(base + rng.Gaussian(0.0, options.noise));
+    }
+    if (anomalous) {
+      out.anomalies.push_back(Interval{start, values.size()});
+    }
+  }
+
+  out.recommended.window = options.cycle_length;
+  out.recommended.paa_size = 5;
+  out.recommended.alphabet_size = 3;
+  out.series.set_name(out.name);
+  return out;
+}
+
+}  // namespace gva

@@ -1,0 +1,30 @@
+#ifndef GVA_DATASETS_VIDEO_H_
+#define GVA_DATASETS_VIDEO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/labeled_series.h"
+
+namespace gva {
+
+/// Parameters for the synthetic "video" generator — the stand-in for the
+/// recorded gun-draw video dataset (paper Figures 1 and 11). The series is
+/// a tracked hand coordinate over repeated draw/aim/return gestures; the
+/// anomalies are hesitation cycles where the actor fumbles mid-draw,
+/// producing a structurally different motion profile.
+struct VideoOptions {
+  size_t num_cycles = 25;
+  size_t cycle_length = 150;
+  double length_jitter = 0.03;
+  double noise = 0.008;
+  /// Cycles replaced by the hesitation gesture.
+  std::vector<size_t> anomalous_cycles = {14};
+  uint64_t seed = 7;
+};
+
+LabeledSeries MakeVideo(const VideoOptions& options = {});
+
+}  // namespace gva
+
+#endif  // GVA_DATASETS_VIDEO_H_

@@ -1,0 +1,98 @@
+#include "discord/brute_force.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "discord/distance.h"
+#include "timeseries/sliding_window.h"
+#include "util/strings.h"
+
+namespace gva {
+
+uint64_t BruteForceCallCount(size_t m, size_t n) {
+  if (n == 0 || m < n) {
+    return 0;
+  }
+  const size_t candidates = NumSlidingWindows(m, n);
+  uint64_t total = 0;
+  for (size_t p = 0; p < candidates; ++p) {
+    // Self-matches are the q with |p - q| < n.
+    const size_t lo = p + 1 >= n ? p + 1 - n : 0;
+    const size_t hi = std::min(candidates - 1, p + n - 1);
+    const size_t self_zone = hi - lo + 1;
+    total += candidates - self_zone;
+  }
+  return total;
+}
+
+StatusOr<DiscordResult> FindDiscordsBruteForce(std::span<const double> series,
+                                               size_t window, size_t top_k) {
+  if (window < 2) {
+    return Status::InvalidArgument("window must be >= 2");
+  }
+  if (series.size() < 2 * window) {
+    return Status::InvalidArgument(
+        StrFormat("series length %zu too short for window %zu (need >= 2x)",
+                  series.size(), window));
+  }
+  if (top_k == 0) {
+    return Status::InvalidArgument("top_k must be >= 1");
+  }
+
+  const size_t candidates = NumSlidingWindows(series.size(), window);
+  SubsequenceDistance dist(series);
+
+  // One full pass computes every candidate's nearest non-self neighbor.
+  std::vector<double> nn_dist(candidates,
+                              SubsequenceDistance::kInfinity);
+  std::vector<size_t> nn_pos(candidates, 0);
+  for (size_t p = 0; p < candidates; ++p) {
+    double best = SubsequenceDistance::kInfinity;
+    size_t best_q = 0;
+    for (size_t q = 0; q < candidates; ++q) {
+      if (IsSelfMatch(p, q, window)) {
+        continue;
+      }
+      const double d = dist.Distance(p, q, window, best);
+      if (d < best) {
+        best = d;
+        best_q = q;
+      }
+    }
+    nn_dist[p] = best;
+    nn_pos[p] = best_q;
+  }
+
+  // Greedy top-k selection of non-overlapping discords, best first.
+  std::vector<size_t> order(candidates);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return nn_dist[a] > nn_dist[b];
+  });
+
+  DiscordResult result;
+  for (size_t p : order) {
+    if (result.discords.size() >= top_k) {
+      break;
+    }
+    if (nn_dist[p] == SubsequenceDistance::kInfinity) {
+      continue;
+    }
+    bool overlaps = false;
+    for (const DiscordRecord& d : result.discords) {
+      if (IsSelfMatch(p, d.position, window)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) {
+      continue;
+    }
+    result.discords.push_back(
+        DiscordRecord{p, window, nn_dist[p], nn_pos[p], -2});
+  }
+  result.distance_calls = dist.calls();
+  return result;
+}
+
+}  // namespace gva

@@ -1,0 +1,31 @@
+#ifndef GVA_DISCORD_BRUTE_FORCE_H_
+#define GVA_DISCORD_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "discord/discord_record.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Exact brute-force discord discovery (paper Section 6): for every
+/// candidate subsequence of length `window`, computes the distance to every
+/// non-self match and reports the `top_k` subsequences with the largest
+/// nearest-neighbor distances (non-overlapping). O(m^2) distance calls.
+///
+/// Distances may early-abandon internally, but — matching the paper's
+/// accounting — every non-self pair still costs one distance call, so the
+/// reported call count equals BruteForceCallCount() for top_k == 1.
+StatusOr<DiscordResult> FindDiscordsBruteForce(std::span<const double> series,
+                                               size_t window, size_t top_k);
+
+/// Exact number of distance calls the brute-force search spends on a series
+/// of length `m` with window `n` (all ordered non-self pairs). The count is
+/// deterministic, so for very long series Table 1 computes it analytically
+/// instead of running the quadratic search.
+uint64_t BruteForceCallCount(size_t m, size_t n);
+
+}  // namespace gva
+
+#endif  // GVA_DISCORD_BRUTE_FORCE_H_

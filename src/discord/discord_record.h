@@ -1,0 +1,41 @@
+#ifndef GVA_DISCORD_DISCORD_RECORD_H_
+#define GVA_DISCORD_DISCORD_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "timeseries/interval.h"
+
+namespace gva {
+
+/// One discovered discord: the subsequence whose distance to its nearest
+/// non-self match is (locally) the largest.
+struct DiscordRecord {
+  /// Start position in the series.
+  size_t position = 0;
+  /// Subsequence length. Fixed-length algorithms report the window size;
+  /// RRA reports variable rule-interval lengths.
+  size_t length = 0;
+  /// Distance to the nearest non-self match. For RRA this is the
+  /// length-normalized distance of paper Eq. (1).
+  double distance = 0.0;
+  /// Start position of the nearest non-self match.
+  size_t nn_position = 0;
+  /// Grammar rule the interval came from (RRA only); -1 for zero-coverage
+  /// gap intervals, -2 when not applicable (HOTSAX / brute force).
+  int32_t rule = -2;
+
+  Interval span() const { return Interval{position, position + length}; }
+};
+
+/// Result of a discord search: ranked discords (best first) plus the number
+/// of distance-function calls the search spent — the paper's efficiency
+/// metric (Table 1).
+struct DiscordResult {
+  std::vector<DiscordRecord> discords;
+  uint64_t distance_calls = 0;
+};
+
+}  // namespace gva
+
+#endif  // GVA_DISCORD_DISCORD_RECORD_H_

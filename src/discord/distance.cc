@@ -1,0 +1,78 @@
+#include "discord/distance.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gva {
+
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  GVA_CHECK_EQ(a.size(), b.size());
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq);
+}
+
+double ZNormEuclideanDistance(std::span<const double> a,
+                              std::span<const double> b, double epsilon) {
+  return EuclideanDistance(ZNormalized(a, epsilon), ZNormalized(b, epsilon));
+}
+
+SubsequenceDistance::SubsequenceDistance(std::span<const double> series,
+                                         double znorm_epsilon)
+    : series_(series), epsilon_(znorm_epsilon) {
+  prefix_.resize(series.size() + 1);
+  prefix_sq_.resize(series.size() + 1);
+  prefix_[0] = 0.0;
+  prefix_sq_[0] = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + series[i];
+    prefix_sq_[i + 1] = prefix_sq_[i] + series[i] * series[i];
+  }
+}
+
+SubsequenceDistance::MeanStd SubsequenceDistance::StatsOf(
+    size_t pos, size_t length) const {
+  GVA_DCHECK(length > 0);
+  GVA_DCHECK(pos + length <= series_.size());
+  const double n = static_cast<double>(length);
+  const double sum = prefix_[pos + length] - prefix_[pos];
+  const double sum_sq = prefix_sq_[pos + length] - prefix_sq_[pos];
+  const double mean = sum / n;
+  double variance = sum_sq / n - mean * mean;
+  if (variance < 0.0) {  // numerical noise
+    variance = 0.0;
+  }
+  const double sd = std::sqrt(variance);
+  return MeanStd{mean, sd < epsilon_ ? 1.0 : 1.0 / sd};
+}
+
+double SubsequenceDistance::Distance(size_t p, size_t q, size_t length,
+                                     double limit) const {
+  ++calls_;
+  GVA_DCHECK(p + length <= series_.size());
+  GVA_DCHECK(q + length <= series_.size());
+  const MeanStd sp = StatsOf(p, length);
+  const MeanStd sq = StatsOf(q, length);
+  const double limit_sq =
+      limit == kInfinity ? kInfinity : limit * limit;
+  double sum_sq = 0.0;
+  const double* a = series_.data() + p;
+  const double* b = series_.data() + q;
+  for (size_t i = 0; i < length; ++i) {
+    const double va = (a[i] - sp.mean) * sp.inv_std;
+    const double vb = (b[i] - sq.mean) * sq.inv_std;
+    const double d = va - vb;
+    sum_sq += d * d;
+    if (sum_sq >= limit_sq) {
+      return kInfinity;
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace gva

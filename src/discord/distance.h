@@ -1,0 +1,67 @@
+#ifndef GVA_DISCORD_DISTANCE_H_
+#define GVA_DISCORD_DISTANCE_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "timeseries/znorm.h"
+
+namespace gva {
+
+/// Plain Euclidean distance between equal-length vectors.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean distance between the z-normalized forms of `a` and `b`.
+/// Convenience wrapper used by tests; the hot path lives in
+/// SubsequenceDistance.
+double ZNormEuclideanDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double epsilon = kDefaultZNormEpsilon);
+
+/// Distance oracle over one time series. Window means and standard
+/// deviations are derived from prefix sums in O(1) per window, so a distance
+/// between any two equal-length subsequences costs one fused
+/// normalize-and-accumulate loop with optional early abandoning. Every call
+/// — abandoned or not — increments the call counter, which is what the
+/// paper's Table 1 compares across algorithms ("number of calls to the
+/// distance function").
+class SubsequenceDistance {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  explicit SubsequenceDistance(std::span<const double> series,
+                               double znorm_epsilon = kDefaultZNormEpsilon);
+
+  /// Euclidean distance between the z-normalized subsequences
+  /// [p, p+length) and [q, q+length). If the running squared sum proves the
+  /// distance >= `limit`, returns kInfinity (early abandon). Counted as one
+  /// distance call either way.
+  double Distance(size_t p, size_t q, size_t length,
+                  double limit = kInfinity) const;
+
+  /// Number of Distance() invocations so far.
+  uint64_t calls() const { return calls_; }
+  void ResetCalls() { calls_ = 0; }
+
+  size_t series_length() const { return series_.size(); }
+
+ private:
+  struct MeanStd {
+    double mean;
+    double inv_std;  // 1/std, or 1.0 for flat windows (mean-centering only)
+  };
+
+  MeanStd StatsOf(size_t pos, size_t length) const;
+
+  std::span<const double> series_;
+  double epsilon_;
+  std::vector<double> prefix_;     // prefix_[i] = sum of series[0..i)
+  std::vector<double> prefix_sq_;  // sums of squares
+  mutable uint64_t calls_ = 0;
+};
+
+}  // namespace gva
+
+#endif  // GVA_DISCORD_DISTANCE_H_

@@ -1,0 +1,162 @@
+#include "discord/hotsax.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "discord/distance.h"
+#include "timeseries/sliding_window.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace gva {
+
+namespace {
+
+/// One discord search round over the allowed candidates. Returns false when
+/// no candidate has a finite nearest-neighbor distance.
+bool FindBestDiscord(const SubsequenceDistance& dist, size_t window,
+                     const std::vector<size_t>& outer_order,
+                     const std::unordered_map<std::string,
+                                              std::vector<size_t>>& buckets,
+                     const std::vector<const std::string*>& word_of,
+                     const std::vector<size_t>& inner_random,
+                     const std::vector<bool>& excluded,
+                     DiscordRecord* best) {
+  double best_dist = -1.0;
+  size_t best_pos = 0;
+  size_t best_nn = 0;
+
+  for (size_t p : outer_order) {
+    if (excluded[p]) {
+      continue;
+    }
+    double nn = SubsequenceDistance::kInfinity;
+    size_t nn_q = 0;
+    bool pruned = false;
+
+    auto visit = [&](size_t q) {
+      if (IsSelfMatch(p, q, window)) {
+        return true;
+      }
+      const double d = dist.Distance(p, q, window, nn);
+      if (d < nn) {
+        nn = d;
+        nn_q = q;
+        if (nn < best_dist) {
+          pruned = true;  // p cannot beat the best-so-far discord
+          return false;
+        }
+      }
+      return true;
+    };
+
+    // Heuristic inner ordering: same-word positions first...
+    const std::vector<size_t>& same_word = buckets.at(*word_of[p]);
+    for (size_t q : same_word) {
+      if (q != p && !visit(q)) {
+        break;
+      }
+    }
+    // ... then everything else in (pre-shuffled) random order.
+    if (!pruned) {
+      for (size_t q : inner_random) {
+        if (*word_of[q] == *word_of[p]) {
+          continue;  // already visited through the bucket
+        }
+        if (!visit(q)) {
+          break;
+        }
+      }
+    }
+
+    if (!pruned && nn != SubsequenceDistance::kInfinity && nn > best_dist) {
+      best_dist = nn;
+      best_pos = p;
+      best_nn = nn_q;
+    }
+  }
+
+  if (best_dist < 0.0) {
+    return false;
+  }
+  *best = DiscordRecord{best_pos, window, best_dist, best_nn, -2};
+  return true;
+}
+
+}  // namespace
+
+StatusOr<DiscordResult> FindDiscordsHotSax(std::span<const double> series,
+                                           const HotSaxOptions& options) {
+  const size_t window = options.sax.window;
+  if (series.size() < 2 * window) {
+    return Status::InvalidArgument(
+        StrFormat("series length %zu too short for window %zu", series.size(),
+                  window));
+  }
+  if (options.top_k == 0) {
+    return Status::InvalidArgument("top_k must be >= 1");
+  }
+
+  // Discretize every window (no numerosity reduction).
+  GVA_ASSIGN_OR_RETURN(SaxRecords records,
+                       DiscretizeAllWindows(series, options.sax));
+  const size_t candidates = records.size();
+
+  // Word buckets: word -> positions, in index order.
+  std::unordered_map<std::string, std::vector<size_t>> buckets;
+  buckets.reserve(candidates);
+  for (size_t i = 0; i < candidates; ++i) {
+    buckets[records.words[i]].push_back(i);
+  }
+  std::vector<const std::string*> word_of(candidates);
+  for (size_t i = 0; i < candidates; ++i) {
+    word_of[i] = &records.words[i];
+  }
+
+  Rng rng(options.seed);
+
+  // Outer ordering: ascending bucket frequency; positions within the same
+  // frequency tier are shuffled.
+  std::vector<size_t> outer_order(candidates);
+  for (size_t i = 0; i < candidates; ++i) {
+    outer_order[i] = i;
+  }
+  rng.Shuffle(outer_order);
+  std::stable_sort(outer_order.begin(), outer_order.end(),
+                   [&](size_t a, size_t b) {
+                     return buckets.at(*word_of[a]).size() <
+                            buckets.at(*word_of[b]).size();
+                   });
+
+  // Shared random inner ordering.
+  std::vector<size_t> inner_random(candidates);
+  for (size_t i = 0; i < candidates; ++i) {
+    inner_random[i] = i;
+  }
+  rng.Shuffle(inner_random);
+
+  SubsequenceDistance dist(series);
+  std::vector<bool> excluded(candidates, false);
+
+  DiscordResult result;
+  for (size_t k = 0; k < options.top_k; ++k) {
+    DiscordRecord best;
+    if (!FindBestDiscord(dist, window, outer_order, buckets, word_of,
+                         inner_random, excluded, &best)) {
+      break;
+    }
+    result.discords.push_back(best);
+    // Exclude the discord's self-match zone from future outer loops.
+    for (size_t p = 0; p < candidates; ++p) {
+      if (IsSelfMatch(p, best.position, window)) {
+        excluded[p] = true;
+      }
+    }
+  }
+  result.distance_calls = dist.calls();
+  return result;
+}
+
+}  // namespace gva

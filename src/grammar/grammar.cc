@@ -1,0 +1,36 @@
+#include "grammar/grammar.h"
+
+namespace gva {
+
+std::vector<int32_t> Grammar::ExpandToTerminals(size_t rule_index) const {
+  GVA_CHECK_LT(rule_index, rules_.size());
+  std::vector<int32_t> out;
+  out.reserve(rules_[rule_index].expansion_tokens);
+  // Iterative DFS over RHS positions to avoid deep recursion on long rule
+  // chains.
+  struct Frame {
+    size_t rule;
+    size_t pos;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({rule_index, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const GrammarRule& r = rules_[top.rule];
+    if (top.pos >= r.rhs.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const GrammarSymbol& sym = r.rhs[top.pos];
+    ++top.pos;
+    if (sym.is_terminal) {
+      out.push_back(sym.id);
+    } else {
+      GVA_DCHECK(static_cast<size_t>(sym.id) < rules_.size());
+      stack.push_back({static_cast<size_t>(sym.id), 0});
+    }
+  }
+  return out;
+}
+
+}  // namespace gva

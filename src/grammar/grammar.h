@@ -1,0 +1,73 @@
+#ifndef GVA_GRAMMAR_GRAMMAR_H_
+#define GVA_GRAMMAR_GRAMMAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gva {
+
+/// One right-hand-side entry of a grammar rule: either a terminal token
+/// (vocabulary id) or a reference to another rule (rule index).
+struct GrammarSymbol {
+  bool is_terminal = true;
+  int32_t id = 0;  ///< terminal: vocabulary id; non-terminal: rule index
+
+  friend bool operator==(const GrammarSymbol& a, const GrammarSymbol& b) {
+    return a.is_terminal == b.is_terminal && a.id == b.id;
+  }
+};
+
+/// A context-free grammar rule R<id> -> rhs. Because Sequitur reduces each
+/// repeated digram to a single non-terminal, every rule other than R0 is
+/// used at least twice (the utility constraint).
+struct GrammarRule {
+  /// Rule number; 0 is the top-level rule R0 whose expansion is the input.
+  int32_t id = 0;
+  std::vector<GrammarSymbol> rhs;
+  /// Number of non-terminal symbols referencing this rule across all
+  /// right-hand sides (0 for R0, >= 2 for all other rules — Sequitur's
+  /// utility constraint). Note this is the *static* count; the number of
+  /// occurrences in R0's full expansion is occurrences.size(), which can be
+  /// larger when the rule is referenced from inside other repeated rules.
+  size_t use_count = 0;
+  /// Length of the rule's expansion in terminal tokens.
+  size_t expansion_tokens = 0;
+  /// Start token index (in the input token sequence) of every occurrence of
+  /// this rule in R0's expansion, ascending. Each occurrence spans
+  /// exactly `expansion_tokens` tokens. For R0 this is {0}.
+  std::vector<size_t> occurrences;
+};
+
+/// The context-free grammar produced by Sequitur over an integer token
+/// sequence. Rule 0 is the start rule; its expansion reproduces the input
+/// exactly.
+class Grammar {
+ public:
+  Grammar() = default;
+  Grammar(std::vector<GrammarRule> rules, size_t num_tokens)
+      : rules_(std::move(rules)), num_tokens_(num_tokens) {}
+
+  const std::vector<GrammarRule>& rules() const { return rules_; }
+  const GrammarRule& rule(size_t index) const {
+    GVA_CHECK_LT(index, rules_.size());
+    return rules_[index];
+  }
+  /// Number of rules including R0.
+  size_t size() const { return rules_.size(); }
+  /// Length of the input token sequence (== R0's expansion length).
+  size_t num_tokens() const { return num_tokens_; }
+
+  /// Fully expands rule `rule_index` to terminal token ids.
+  std::vector<int32_t> ExpandToTerminals(size_t rule_index) const;
+
+ private:
+  std::vector<GrammarRule> rules_;
+  size_t num_tokens_ = 0;
+};
+
+}  // namespace gva
+
+#endif  // GVA_GRAMMAR_GRAMMAR_H_

@@ -1,0 +1,50 @@
+#include "grammar/grammar_printer.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace gva {
+
+std::string RuleRhsToString(const WordGrammar& wg, size_t rule_index) {
+  const GrammarRule& rule = wg.grammar.rule(rule_index);
+  std::vector<std::string> parts;
+  parts.reserve(rule.rhs.size());
+  for (const GrammarSymbol& sym : rule.rhs) {
+    if (sym.is_terminal) {
+      parts.push_back(wg.WordOf(sym.id));
+    } else {
+      parts.push_back(StrFormat("R%d", sym.id));
+    }
+  }
+  return Join(parts, " ");
+}
+
+std::string RuleExpansionToString(const WordGrammar& wg, size_t rule_index) {
+  std::vector<int32_t> terminals = wg.grammar.ExpandToTerminals(rule_index);
+  std::vector<std::string> parts;
+  parts.reserve(terminals.size());
+  for (int32_t t : terminals) {
+    parts.push_back(wg.WordOf(t));
+  }
+  return Join(parts, " ");
+}
+
+std::string GrammarToString(const WordGrammar& wg, bool verbose) {
+  std::ostringstream out;
+  for (size_t i = 0; i < wg.grammar.size(); ++i) {
+    out << StrFormat("R%zu -> %s", i, RuleRhsToString(wg, i).c_str());
+    if (verbose) {
+      const GrammarRule& rule = wg.grammar.rule(i);
+      out << StrFormat("   [use=%zu, tokens=%zu]", rule.use_count,
+                       rule.expansion_tokens);
+      if (i != 0) {
+        out << "   (" << RuleExpansionToString(wg, i) << ")";
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace gva

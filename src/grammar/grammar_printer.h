@@ -1,0 +1,27 @@
+#ifndef GVA_GRAMMAR_GRAMMAR_PRINTER_H_
+#define GVA_GRAMMAR_GRAMMAR_PRINTER_H_
+
+#include <string>
+
+#include "grammar/sequitur.h"
+
+namespace gva {
+
+/// Renders one rule's right-hand side, e.g. "R2 cba" — non-terminals as
+/// "R<id>", terminals as their vocabulary word.
+std::string RuleRhsToString(const WordGrammar& wg, size_t rule_index);
+
+/// Renders one rule's full expansion as space-separated words,
+/// e.g. "abc abc cba".
+std::string RuleExpansionToString(const WordGrammar& wg, size_t rule_index);
+
+/// Renders the whole grammar in the paper's Section 3 table style:
+///   R0 -> R1 xxx R1
+///   R1 -> R2 cba
+///   ...
+/// with use counts and expansions when `verbose` is set.
+std::string GrammarToString(const WordGrammar& wg, bool verbose = false);
+
+}  // namespace gva
+
+#endif  // GVA_GRAMMAR_GRAMMAR_PRINTER_H_

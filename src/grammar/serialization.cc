@@ -1,0 +1,228 @@
+#include "grammar/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace gva {
+
+namespace {
+
+constexpr char kMagic[] = "gva-grammar 1";
+
+/// Recomputes the derived fields (expansion lengths, occurrences) of a rule
+/// table whose rhs entries are already in place. Fails on reference cycles
+/// or out-of-range ids.
+Status RecomputeDerived(std::vector<GrammarRule>& rules, size_t* num_tokens) {
+  const size_t n = rules.size();
+  for (GrammarRule& rule : rules) {
+    rule.occurrences.clear();
+    rule.expansion_tokens = 0;
+  }
+  // Expansion lengths by DFS with cycle detection.
+  std::vector<int> state(n, 0);
+  struct Frame {
+    size_t rule;
+    size_t pos;
+  };
+  for (size_t start = 0; start < n; ++start) {
+    if (state[start] == 2) {
+      continue;
+    }
+    std::vector<Frame> stack{{start, 0}};
+    state[start] = 1;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      GrammarRule& rule = rules[top.rule];
+      if (top.pos == rule.rhs.size()) {
+        size_t total = 0;
+        for (const GrammarSymbol& sym : rule.rhs) {
+          total += sym.is_terminal
+                       ? 1
+                       : rules[static_cast<size_t>(sym.id)].expansion_tokens;
+        }
+        rule.expansion_tokens = total;
+        state[top.rule] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const GrammarSymbol& sym = rule.rhs[top.pos];
+      ++top.pos;
+      if (!sym.is_terminal) {
+        if (sym.id < 0 || static_cast<size_t>(sym.id) >= n) {
+          return Status::InvalidArgument(
+              StrFormat("rule reference R%d out of range", sym.id));
+        }
+        const size_t child = static_cast<size_t>(sym.id);
+        if (state[child] == 1) {
+          return Status::InvalidArgument("grammar contains a rule cycle");
+        }
+        if (state[child] == 0) {
+          state[child] = 1;
+          stack.push_back({child, 0});
+        }
+      }
+    }
+  }
+  // Occurrences by one walk of R0's expansion.
+  rules[0].occurrences.push_back(0);
+  std::vector<Frame> stack{{0, 0}};
+  size_t pos = 0;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const GrammarRule& rule = rules[top.rule];
+    if (top.pos == rule.rhs.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const GrammarSymbol& sym = rule.rhs[top.pos];
+    ++top.pos;
+    if (sym.is_terminal) {
+      ++pos;
+    } else {
+      rules[static_cast<size_t>(sym.id)].occurrences.push_back(pos);
+      stack.push_back({static_cast<size_t>(sym.id), 0});
+    }
+  }
+  *num_tokens = pos;
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeGrammar(const WordGrammar& grammar) {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "tokens " << grammar.tokens.size() << '\n';
+  out << "vocab " << grammar.vocabulary.size() << '\n';
+  for (const std::string& word : grammar.vocabulary) {
+    out << "w " << word << '\n';
+  }
+  for (const GrammarRule& rule : grammar.grammar.rules()) {
+    out << "rule " << rule.id << ' ' << rule.use_count << " :";
+    for (const GrammarSymbol& sym : rule.rhs) {
+      if (sym.is_terminal) {
+        out << " t" << sym.id;
+      } else {
+        out << " R" << sym.id;
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<WordGrammar> DeserializeGrammar(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kMagic) {
+    return Status::InvalidArgument("missing gva-grammar header");
+  }
+  size_t declared_tokens = 0;
+  size_t vocab_size = 0;
+  WordGrammar grammar;
+  std::vector<GrammarRule> rules;
+
+  while (std::getline(in, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) {
+      continue;
+    }
+    std::istringstream fields{std::string(stripped)};
+    std::string kind;
+    fields >> kind;
+    if (kind == "tokens") {
+      fields >> declared_tokens;
+    } else if (kind == "vocab") {
+      fields >> vocab_size;
+    } else if (kind == "w") {
+      std::string word;
+      fields >> word;
+      if (word.empty()) {
+        return Status::InvalidArgument("empty vocabulary word");
+      }
+      grammar.vocabulary.push_back(word);
+    } else if (kind == "rule") {
+      GrammarRule rule;
+      long long id = 0;
+      unsigned long long use = 0;
+      std::string colon;
+      fields >> id >> use >> colon;
+      if (colon != ":" || id != static_cast<long long>(rules.size())) {
+        return Status::InvalidArgument(
+            StrFormat("malformed or out-of-order rule line: '%s'",
+                      std::string(stripped).c_str()));
+      }
+      rule.id = static_cast<int32_t>(id);
+      rule.use_count = static_cast<size_t>(use);
+      std::string sym;
+      while (fields >> sym) {
+        if (sym.size() < 2 || (sym[0] != 't' && sym[0] != 'R')) {
+          return Status::InvalidArgument("malformed symbol '" + sym + "'");
+        }
+        GrammarSymbol parsed;
+        parsed.is_terminal = sym[0] == 't';
+        parsed.id = static_cast<int32_t>(
+            std::strtol(sym.c_str() + 1, nullptr, 10));
+        rule.rhs.push_back(parsed);
+      }
+      rules.push_back(std::move(rule));
+    } else {
+      return Status::InvalidArgument("unknown line kind '" + kind + "'");
+    }
+  }
+
+  if (rules.empty()) {
+    return Status::InvalidArgument("grammar has no rules (R0 required)");
+  }
+  if (grammar.vocabulary.size() != vocab_size) {
+    return Status::InvalidArgument("vocabulary size mismatch");
+  }
+  for (const GrammarRule& rule : rules) {
+    for (const GrammarSymbol& sym : rule.rhs) {
+      if (sym.is_terminal &&
+          (sym.id < 0 ||
+           static_cast<size_t>(sym.id) >= grammar.vocabulary.size())) {
+        return Status::InvalidArgument(
+            StrFormat("terminal t%d outside vocabulary", sym.id));
+      }
+    }
+  }
+
+  size_t num_tokens = 0;
+  GVA_RETURN_IF_ERROR(RecomputeDerived(rules, &num_tokens));
+  if (num_tokens != declared_tokens) {
+    return Status::InvalidArgument(
+        StrFormat("token count mismatch: declared %zu, expansion has %zu",
+                  declared_tokens, num_tokens));
+  }
+  grammar.grammar = Grammar(std::move(rules), num_tokens);
+  grammar.tokens = grammar.grammar.ExpandToTerminals(0);
+  return grammar;
+}
+
+Status WriteGrammarFile(const std::string& path,
+                        const WordGrammar& grammar) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << SerializeGrammar(grammar);
+  if (!out) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<WordGrammar> ReadGrammarFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return DeserializeGrammar(contents);
+}
+
+}  // namespace gva

@@ -1,0 +1,35 @@
+#ifndef GVA_GRAMMAR_SERIALIZATION_H_
+#define GVA_GRAMMAR_SERIALIZATION_H_
+
+#include <string>
+
+#include "grammar/sequitur.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Serializes a word grammar to a line-oriented text format:
+///
+///   gva-grammar 1
+///   tokens <n>
+///   vocab <size>
+///   w <word>                  (vocabulary, in id order)
+///   rule <id> <use> : <sym>*  (sym: t<token-id> or R<rule-id>)
+///
+/// Occurrences and expansion lengths are derived data and are recomputed on
+/// load. The format is stable and diff-friendly — grammars can be stored
+/// next to the data they explain and inspected with standard tools.
+std::string SerializeGrammar(const WordGrammar& grammar);
+
+/// Parses the format back. Verifies structural sanity (rule references in
+/// range, R0 present, token stream reproducible) and recomputes the derived
+/// fields; fails with InvalidArgument on malformed input.
+StatusOr<WordGrammar> DeserializeGrammar(const std::string& text);
+
+/// Convenience file wrappers.
+Status WriteGrammarFile(const std::string& path, const WordGrammar& grammar);
+StatusOr<WordGrammar> ReadGrammarFile(const std::string& path);
+
+}  // namespace gva
+
+#endif  // GVA_GRAMMAR_SERIALIZATION_H_

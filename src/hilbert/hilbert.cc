@@ -1,0 +1,85 @@
+#include "hilbert/hilbert.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace gva {
+
+namespace {
+
+/// One quadrant rotation/reflection step of the classic iterative
+/// Hilbert-curve algorithm.
+void Rotate(uint64_t side, uint64_t* x, uint64_t* y, uint64_t rx,
+            uint64_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = side - 1 - *x;
+      *y = side - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+
+}  // namespace
+
+HilbertCurve::HilbertCurve(uint32_t order) : order_(order) {
+  GVA_CHECK(order >= 1 && order <= 16) << "order=" << order;
+  side_ = uint64_t{1} << order;
+}
+
+uint64_t HilbertCurve::XyToIndex(uint64_t x, uint64_t y) const {
+  GVA_CHECK(x < side_ && y < side_)
+      << "cell (" << x << ", " << y << ") outside " << side_ << "^2 grid";
+  uint64_t d = 0;
+  for (uint64_t s = side_ / 2; s > 0; s /= 2) {
+    const uint64_t rx = (x & s) > 0 ? 1 : 0;
+    const uint64_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    Rotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertCurve::IndexToXy(uint64_t d, uint64_t* x, uint64_t* y) const {
+  GVA_CHECK(d < num_cells()) << "index " << d << " outside curve";
+  uint64_t t = d;
+  *x = 0;
+  *y = 0;
+  for (uint64_t s = 1; s < side_; s *= 2) {
+    const uint64_t rx = 1 & (t / 2);
+    const uint64_t ry = 1 & (t ^ rx);
+    Rotate(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+StatusOr<std::vector<double>> TrajectoryToHilbertSeries(
+    const std::vector<GeoPoint>& trajectory, const HilbertCurve& curve,
+    double min_x, double max_x, double min_y, double max_y) {
+  if (max_x <= min_x || max_y <= min_y) {
+    return Status::InvalidArgument("degenerate bounding box");
+  }
+  const double side = static_cast<double>(curve.side());
+  std::vector<double> series;
+  series.reserve(trajectory.size());
+  for (const GeoPoint& p : trajectory) {
+    if (p.x < min_x || p.x > max_x || p.y < min_y || p.y > max_y) {
+      return Status::OutOfRange(
+          StrFormat("point (%g, %g) outside bounding box", p.x, p.y));
+    }
+    double fx = (p.x - min_x) / (max_x - min_x) * side;
+    double fy = (p.y - min_y) / (max_y - min_y) * side;
+    uint64_t cx = std::min<uint64_t>(curve.side() - 1,
+                                     static_cast<uint64_t>(fx));
+    uint64_t cy = std::min<uint64_t>(curve.side() - 1,
+                                     static_cast<uint64_t>(fy));
+    series.push_back(static_cast<double>(curve.XyToIndex(cx, cy)));
+  }
+  return series;
+}
+
+}  // namespace gva

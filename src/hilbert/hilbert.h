@@ -1,0 +1,53 @@
+#ifndef GVA_HILBERT_HILBERT_H_
+#define GVA_HILBERT_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Hilbert space-filling curve on a 2^order x 2^order grid (paper Section
+/// 5.1, Figure 6). The curve visits every cell exactly once; consecutive
+/// visit indices are always edge-adjacent cells, which is what preserves
+/// spatial locality when a trajectory is flattened to a scalar series.
+class HilbertCurve {
+ public:
+  /// `order` in [1, 16]: the grid is 2^order cells per side.
+  explicit HilbertCurve(uint32_t order);
+
+  uint32_t order() const { return order_; }
+  /// Cells per side (2^order).
+  uint64_t side() const { return side_; }
+  /// Total number of cells (side^2).
+  uint64_t num_cells() const { return side_ * side_; }
+
+  /// Visit index of cell (x, y). Both must be < side().
+  uint64_t XyToIndex(uint64_t x, uint64_t y) const;
+
+  /// Cell coordinates of visit index d (< num_cells()).
+  void IndexToXy(uint64_t d, uint64_t* x, uint64_t* y) const;
+
+ private:
+  uint32_t order_;
+  uint64_t side_;
+};
+
+/// A planar point for trajectory conversion.
+struct GeoPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Converts a trajectory to the sequence of Hilbert visit indices of the
+/// enclosing grid cells (Figure 6's "{0,3,2,2,...}" example). Points are
+/// scaled from the bounding box [min_x, max_x] x [min_y, max_y] onto the
+/// grid; the box must be non-degenerate and contain every point.
+StatusOr<std::vector<double>> TrajectoryToHilbertSeries(
+    const std::vector<GeoPoint>& trajectory, const HilbertCurve& curve,
+    double min_x, double max_x, double min_y, double max_y);
+
+}  // namespace gva
+
+#endif  // GVA_HILBERT_HILBERT_H_

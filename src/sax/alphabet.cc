@@ -1,0 +1,43 @@
+#include "sax/alphabet.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math_utils.h"
+
+namespace gva {
+
+NormalAlphabet::NormalAlphabet(size_t size) : size_(size) {
+  GVA_CHECK(size >= kMinAlphabetSize && size <= kMaxAlphabetSize)
+      << "alphabet size " << size << " outside ["
+      << kMinAlphabetSize << ", " << kMaxAlphabetSize << "]";
+  breakpoints_.reserve(size - 1);
+  for (size_t i = 1; i < size; ++i) {
+    breakpoints_.push_back(
+        InverseNormalCdf(static_cast<double>(i) / static_cast<double>(size)));
+  }
+  distance_table_.assign(size * size, 0.0);
+  for (size_t r = 0; r < size; ++r) {
+    for (size_t c = 0; c < size; ++c) {
+      if (r > c + 1) {
+        distance_table_[r * size + c] = breakpoints_[r - 1] - breakpoints_[c];
+      } else if (c > r + 1) {
+        distance_table_[r * size + c] = breakpoints_[c - 1] - breakpoints_[r];
+      }
+    }
+  }
+}
+
+size_t NormalAlphabet::IndexOf(double value) const {
+  // First breakpoint strictly greater than value; values on a breakpoint go
+  // to the upper region, matching the SAX reference implementation.
+  auto it = std::upper_bound(breakpoints_.begin(), breakpoints_.end(), value);
+  return static_cast<size_t>(it - breakpoints_.begin());
+}
+
+double NormalAlphabet::CellDistance(size_t r, size_t c) const {
+  GVA_DCHECK(r < size_ && c < size_);
+  return distance_table_[r * size_ + c];
+}
+
+}  // namespace gva

@@ -1,0 +1,62 @@
+#include "sax/paa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gva {
+
+void Paa(std::span<const double> values, size_t segments,
+         std::vector<double>& out) {
+  GVA_CHECK_GT(segments, 0u);
+  const size_t n = values.size();
+  out.assign(segments, 0.0);
+  if (n == 0) {
+    return;
+  }
+  if (n == segments) {
+    std::copy(values.begin(), values.end(), out.begin());
+    return;
+  }
+  if (n % segments == 0) {
+    // Fast path: plain per-segment means.
+    const size_t step = n / segments;
+    for (size_t j = 0; j < segments; ++j) {
+      double sum = 0.0;
+      for (size_t i = j * step; i < (j + 1) * step; ++i) {
+        sum += values[i];
+      }
+      out[j] = sum / static_cast<double>(step);
+    }
+    return;
+  }
+  // Exact fractional PAA: segment j is the mean over the real interval
+  // [j*n/w, (j+1)*n/w); boundary samples contribute proportionally to their
+  // overlap with the segment.
+  const double w = static_cast<double>(segments);
+  const double dn = static_cast<double>(n);
+  for (size_t j = 0; j < segments; ++j) {
+    const double lo = static_cast<double>(j) * dn / w;
+    const double hi = static_cast<double>(j + 1) * dn / w;
+    double sum = 0.0;
+    size_t i0 = static_cast<size_t>(std::floor(lo));
+    size_t i1 = std::min(n, static_cast<size_t>(std::ceil(hi)));
+    for (size_t i = i0; i < i1; ++i) {
+      const double overlap = std::min(hi, static_cast<double>(i + 1)) -
+                             std::max(lo, static_cast<double>(i));
+      if (overlap > 0.0) {
+        sum += overlap * values[i];
+      }
+    }
+    out[j] = sum / (hi - lo);
+  }
+}
+
+std::vector<double> Paa(std::span<const double> values, size_t segments) {
+  std::vector<double> out;
+  Paa(values, segments, out);
+  return out;
+}
+
+}  // namespace gva

@@ -1,0 +1,24 @@
+#ifndef GVA_SAX_PAA_H_
+#define GVA_SAX_PAA_H_
+
+#include <span>
+#include <vector>
+
+namespace gva {
+
+/// Piecewise Aggregate Approximation: reduces `values` (length n) to
+/// `segments` means. When n is not divisible by `segments`, boundary points
+/// are split fractionally between adjacent segments (the exact PAA used by
+/// jmotif/GrammarViz), so the result equals the mean of each real-valued
+/// segment [j*n/w, (j+1)*n/w). When segments >= n the input is returned
+/// stretched (each value repeated fractionally reduces to the identity for
+/// segments == n).
+void Paa(std::span<const double> values, size_t segments,
+         std::vector<double>& out);
+
+/// Convenience overload returning a fresh vector.
+std::vector<double> Paa(std::span<const double> values, size_t segments);
+
+}  // namespace gva
+
+#endif  // GVA_SAX_PAA_H_

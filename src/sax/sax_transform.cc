@@ -1,0 +1,101 @@
+#include "sax/sax_transform.h"
+
+#include "sax/mindist.h"
+#include "sax/paa.h"
+#include "timeseries/sliding_window.h"
+#include "util/strings.h"
+
+namespace gva {
+
+Status SaxOptions::Validate() const {
+  if (window < 2) {
+    return Status::InvalidArgument(
+        StrFormat("window must be >= 2, got %zu", window));
+  }
+  if (paa_size < 1) {
+    return Status::InvalidArgument("paa_size must be >= 1");
+  }
+  if (paa_size > window) {
+    return Status::InvalidArgument(
+        StrFormat("paa_size (%zu) must not exceed window (%zu)", paa_size,
+                  window));
+  }
+  if (alphabet_size < kMinAlphabetSize || alphabet_size > kMaxAlphabetSize) {
+    return Status::InvalidArgument(
+        StrFormat("alphabet_size (%zu) outside [%zu, %zu]", alphabet_size,
+                  kMinAlphabetSize, kMaxAlphabetSize));
+  }
+  if (znorm_epsilon < 0.0) {
+    return Status::InvalidArgument("znorm_epsilon must be non-negative");
+  }
+  return Status::Ok();
+}
+
+std::string SaxWordForWindow(std::span<const double> window,
+                             const SaxOptions& opts,
+                             const NormalAlphabet& alphabet) {
+  thread_local std::vector<double> normalized;
+  thread_local std::vector<double> paa;
+  ZNormalize(window, normalized, opts.znorm_epsilon);
+  Paa(normalized, opts.paa_size, paa);
+  std::string word(opts.paa_size, 'a');
+  for (size_t i = 0; i < paa.size(); ++i) {
+    word[i] = alphabet.LetterOf(paa[i]);
+  }
+  return word;
+}
+
+namespace {
+
+StatusOr<SaxRecords> DiscretizeImpl(std::span<const double> series,
+                                    const SaxOptions& opts,
+                                    NumerosityReduction numerosity) {
+  GVA_RETURN_IF_ERROR(opts.Validate());
+  if (series.size() < opts.window) {
+    return Status::InvalidArgument(
+        StrFormat("series length %zu shorter than window %zu", series.size(),
+                  opts.window));
+  }
+  const NormalAlphabet alphabet(opts.alphabet_size);
+  const size_t windows = NumSlidingWindows(series.size(), opts.window);
+  SaxRecords records;
+  records.words.reserve(windows);
+  records.offsets.reserve(windows);
+  for (size_t pos = 0; pos < windows; ++pos) {
+    std::string word =
+        SaxWordForWindow(WindowAt(series, pos, opts.window), opts, alphabet);
+    bool keep = true;
+    if (!records.words.empty()) {
+      const std::string& prev = records.words.back();
+      switch (numerosity) {
+        case NumerosityReduction::kNone:
+          break;
+        case NumerosityReduction::kExact:
+          keep = (word != prev);
+          break;
+        case NumerosityReduction::kMinDist:
+          keep = !MinDistIsZero(word, prev, alphabet);
+          break;
+      }
+    }
+    if (keep) {
+      records.words.push_back(std::move(word));
+      records.offsets.push_back(pos);
+    }
+  }
+  return records;
+}
+
+}  // namespace
+
+StatusOr<SaxRecords> Discretize(std::span<const double> series,
+                                const SaxOptions& opts) {
+  return DiscretizeImpl(series, opts, opts.numerosity);
+}
+
+StatusOr<SaxRecords> DiscretizeAllWindows(std::span<const double> series,
+                                          const SaxOptions& opts) {
+  return DiscretizeImpl(series, opts, NumerosityReduction::kNone);
+}
+
+}  // namespace gva

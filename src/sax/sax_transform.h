@@ -1,0 +1,75 @@
+#ifndef GVA_SAX_SAX_TRANSFORM_H_
+#define GVA_SAX_SAX_TRANSFORM_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sax/alphabet.h"
+#include "timeseries/znorm.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// How consecutive identical SAX words are collapsed (paper Section 3.2).
+enum class NumerosityReduction {
+  /// Keep every window's word.
+  kNone,
+  /// Record a word only when it differs from the previous recorded word
+  /// (the paper's strategy).
+  kExact,
+  /// Record a word only when its MINDIST to the previous recorded word is
+  /// non-zero (the looser option exposed by the GrammarViz 2.0 UI).
+  kMinDist,
+};
+
+/// Discretization parameters shared by every SAX consumer in the library.
+struct SaxOptions {
+  /// Sliding window length (the "seed" size; discovered anomalies are not
+  /// bounded by it).
+  size_t window = 100;
+  /// Number of PAA segments per window (word length).
+  size_t paa_size = 4;
+  /// Alphabet size in [2, 26].
+  size_t alphabet_size = 4;
+  /// Numerosity reduction strategy.
+  NumerosityReduction numerosity = NumerosityReduction::kExact;
+  /// Flat-window threshold for z-normalization.
+  double znorm_epsilon = kDefaultZNormEpsilon;
+
+  /// Validates ranges and window-vs-paa consistency.
+  Status Validate() const;
+};
+
+/// Result of sliding-window discretization: a sequence of SAX words together
+/// with the starting position of each word's window in the original series.
+/// After numerosity reduction, words.size() == offsets.size() <= windows.
+struct SaxRecords {
+  std::vector<std::string> words;
+  std::vector<size_t> offsets;
+
+  size_t size() const { return words.size(); }
+  bool empty() const { return words.empty(); }
+};
+
+/// Discretizes one z-normalized window into a SAX word of length
+/// `opts.paa_size` using `alphabet` (must have size opts.alphabet_size).
+std::string SaxWordForWindow(std::span<const double> window,
+                             const SaxOptions& opts,
+                             const NormalAlphabet& alphabet);
+
+/// Full sliding-window discretization with the numerosity reduction from
+/// `opts` (paper Sections 3.1-3.2). Fails when `opts` is invalid or the
+/// series is shorter than the window.
+StatusOr<SaxRecords> Discretize(std::span<const double> series,
+                                const SaxOptions& opts);
+
+/// Discretization of every window with no numerosity reduction — one word
+/// per window position. Used by HOTSAX.
+StatusOr<SaxRecords> DiscretizeAllWindows(std::span<const double> series,
+                                          const SaxOptions& opts);
+
+}  // namespace gva
+
+#endif  // GVA_SAX_SAX_TRANSFORM_H_

@@ -1,0 +1,51 @@
+#ifndef GVA_TIMESERIES_INTERVAL_H_
+#define GVA_TIMESERIES_INTERVAL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+
+namespace gva {
+
+/// Half-open index interval [start, end) over a time series. Used for
+/// grammar-rule spans, anomaly locations, and ground-truth annotations.
+struct Interval {
+  size_t start = 0;
+  size_t end = 0;  ///< exclusive
+
+  size_t length() const { return end > start ? end - start : 0; }
+  bool empty() const { return end <= start; }
+
+  bool Contains(size_t index) const { return index >= start && index < end; }
+
+  bool Overlaps(const Interval& other) const {
+    return !empty() && !other.empty() && start < other.end &&
+           other.start < end;
+  }
+
+  /// Number of indices shared with `other`.
+  size_t OverlapLength(const Interval& other) const {
+    size_t lo = std::max(start, other.start);
+    size_t hi = std::min(end, other.end);
+    return hi > lo ? hi - lo : 0;
+  }
+
+  /// Intersection-over-union; 0 when either interval is empty.
+  double Jaccard(const Interval& other) const {
+    size_t inter = OverlapLength(other);
+    size_t uni = length() + other.length() - inter;
+    return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& i) {
+  return os << "[" << i.start << ", " << i.end << ")";
+}
+
+}  // namespace gva
+
+#endif  // GVA_TIMESERIES_INTERVAL_H_

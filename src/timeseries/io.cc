@@ -1,0 +1,18 @@
+#include "timeseries/io.h"
+
+#include "util/csv.h"
+
+namespace gva {
+
+StatusOr<TimeSeries> ReadTimeSeriesCsv(const std::string& path, size_t column,
+                                       char delimiter) {
+  GVA_ASSIGN_OR_RETURN(std::vector<double> values,
+                       ReadCsvColumn(path, column, delimiter));
+  return TimeSeries(std::move(values), path);
+}
+
+Status WriteTimeSeriesCsv(const std::string& path, const TimeSeries& series) {
+  return WriteCsvColumn(path, series.values());
+}
+
+}  // namespace gva

@@ -1,0 +1,22 @@
+#ifndef GVA_TIMESERIES_IO_H_
+#define GVA_TIMESERIES_IO_H_
+
+#include <string>
+
+#include "timeseries/time_series.h"
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Loads a time series from one numeric column of a CSV/TSV file. The
+/// series name is set to the file path.
+StatusOr<TimeSeries> ReadTimeSeriesCsv(const std::string& path,
+                                       size_t column = 0,
+                                       char delimiter = ',');
+
+/// Writes a time series as a single-column CSV.
+Status WriteTimeSeriesCsv(const std::string& path, const TimeSeries& series);
+
+}  // namespace gva
+
+#endif  // GVA_TIMESERIES_IO_H_

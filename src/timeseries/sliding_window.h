@@ -1,0 +1,36 @@
+#ifndef GVA_TIMESERIES_SLIDING_WINDOW_H_
+#define GVA_TIMESERIES_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <span>
+
+#include "util/check.h"
+
+namespace gva {
+
+/// Number of length-`window` subsequences a series of length `m` yields
+/// under sliding-window extraction (paper Section 2): m - window + 1, or 0
+/// when the window does not fit.
+inline size_t NumSlidingWindows(size_t m, size_t window) {
+  GVA_DCHECK(window > 0);
+  return m >= window ? m - window + 1 : 0;
+}
+
+/// View of the subsequence starting at `pos`.
+inline std::span<const double> WindowAt(std::span<const double> series,
+                                        size_t pos, size_t window) {
+  GVA_DCHECK(pos + window <= series.size());
+  return series.subspan(pos, window);
+}
+
+/// True when subsequences of length `length_p` at `p` and `q` would be
+/// self-matches, i.e. |p - q| < length_p (paper Section 2, "Non-self
+/// match" requires |p - q| >= n).
+inline bool IsSelfMatch(size_t p, size_t q, size_t length_p) {
+  size_t distance = p > q ? p - q : q - p;
+  return distance < length_p;
+}
+
+}  // namespace gva
+
+#endif  // GVA_TIMESERIES_SLIDING_WINDOW_H_

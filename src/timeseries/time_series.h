@@ -1,0 +1,73 @@
+#ifndef GVA_TIMESERIES_TIME_SERIES_H_
+#define GVA_TIMESERIES_TIME_SERIES_H_
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gva {
+
+/// An ordered set of scalar observations (paper Section 2), optionally
+/// carrying a display name. The class is a thin, copyable value wrapper
+/// around std::vector<double>; algorithms accept std::span<const double> so
+/// plain vectors interoperate freely.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  explicit TimeSeries(std::vector<double> values, std::string name = "")
+      : values_(std::move(values)), name_(std::move(name)) {}
+
+  TimeSeries(const TimeSeries&) = default;
+  TimeSeries& operator=(const TimeSeries&) = default;
+  TimeSeries(TimeSeries&&) = default;
+  TimeSeries& operator=(TimeSeries&&) = default;
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](size_t i) const {
+    GVA_DCHECK(i < values_.size());
+    return values_[i];
+  }
+  double& operator[](size_t i) {
+    GVA_DCHECK(i < values_.size());
+    return values_[i];
+  }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Implicit view conversion so a TimeSeries can be passed wherever a span
+  /// of values is expected.
+  operator std::span<const double>() const {  // NOLINT(runtime/explicit)
+    return std::span<const double>(values_);
+  }
+
+  std::span<const double> view() const {
+    return std::span<const double>(values_);
+  }
+
+  /// Contiguous subsequence view of `length` points starting at `pos`
+  /// (paper Section 2, "Subsequence"). Bounds-checked.
+  std::span<const double> Subsequence(size_t pos, size_t length) const {
+    GVA_CHECK(pos + length <= values_.size())
+        << "subsequence [" << pos << ", " << pos + length << ") out of range "
+        << values_.size();
+    return std::span<const double>(values_).subspan(pos, length);
+  }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::vector<double> values_;
+  std::string name_;
+};
+
+}  // namespace gva
+
+#endif  // GVA_TIMESERIES_TIME_SERIES_H_

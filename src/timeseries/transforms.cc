@@ -1,0 +1,91 @@
+#include "timeseries/transforms.h"
+
+#include <algorithm>
+
+namespace gva {
+
+StatusOr<std::vector<double>> MovingAverage(std::span<const double> values,
+                                            size_t window) {
+  if (window == 0 || window % 2 == 0) {
+    return Status::InvalidArgument("moving-average window must be odd");
+  }
+  std::vector<double> out(values.size());
+  if (values.empty()) {
+    return out;
+  }
+  const size_t half = window / 2;
+  // Prefix sums for O(1) range means.
+  std::vector<double> prefix(values.size() + 1, 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(values.size() - 1, i + half);
+    out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> Downsample(std::span<const double> values,
+                                         size_t factor) {
+  if (factor == 0) {
+    return Status::InvalidArgument("downsample factor must be >= 1");
+  }
+  std::vector<double> out;
+  out.reserve(values.size() / factor + 1);
+  for (size_t i = 0; i < values.size(); i += factor) {
+    out.push_back(values[i]);
+  }
+  return out;
+}
+
+std::vector<double> Detrend(std::span<const double> values) {
+  const size_t n = values.size();
+  std::vector<double> out(n);
+  if (n < 2) {
+    std::copy(values.begin(), values.end(), out.begin());
+    return out;
+  }
+  // Least squares y = a + b*x over x = 0..n-1.
+  const double nx = static_cast<double>(n);
+  const double sum_x = nx * (nx - 1.0) / 2.0;
+  const double sum_xx = (nx - 1.0) * nx * (2.0 * nx - 1.0) / 6.0;
+  double sum_y = 0.0;
+  double sum_xy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum_y += values[i];
+    sum_xy += static_cast<double>(i) * values[i];
+  }
+  const double denom = nx * sum_xx - sum_x * sum_x;
+  const double b = denom != 0.0 ? (nx * sum_xy - sum_x * sum_y) / denom : 0.0;
+  const double a = (sum_y - b * sum_x) / nx;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = values[i] - (a + b * static_cast<double>(i));
+  }
+  return out;
+}
+
+std::vector<double> Difference(std::span<const double> values) {
+  std::vector<double> out;
+  if (values.size() < 2) {
+    return out;
+  }
+  out.reserve(values.size() - 1);
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    out.push_back(values[i + 1] - values[i]);
+  }
+  return out;
+}
+
+std::vector<double> Clamp(std::span<const double> values, double lo,
+                          double hi) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    out.push_back(std::min(hi, std::max(lo, v)));
+  }
+  return out;
+}
+
+}  // namespace gva

@@ -1,0 +1,39 @@
+#ifndef GVA_TIMESERIES_TRANSFORMS_H_
+#define GVA_TIMESERIES_TRANSFORMS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace gva {
+
+/// Centered moving average with an odd window (edges use the available
+/// prefix/suffix, so output length equals input length). Typical use:
+/// taming sensor noise before discretization of very noisy data.
+/// `window` must be odd and >= 1.
+StatusOr<std::vector<double>> MovingAverage(std::span<const double> values,
+                                            size_t window);
+
+/// Keeps every `factor`-th sample (factor >= 1). Anomaly positions found on
+/// the downsampled series map back as index * factor.
+StatusOr<std::vector<double>> Downsample(std::span<const double> values,
+                                         size_t factor);
+
+/// Removes the least-squares linear trend. Useful before SAX when a global
+/// drift would otherwise dominate every window's shape.
+std::vector<double> Detrend(std::span<const double> values);
+
+/// First difference: out[i] = values[i+1] - values[i] (length n-1). Turns
+/// level anomalies into spike anomalies, a standard preprocessing trade.
+std::vector<double> Difference(std::span<const double> values);
+
+/// Clamps values to [lo, hi] — guard against sensor glitches that would
+/// stretch the z-normalization of every window containing them.
+std::vector<double> Clamp(std::span<const double> values, double lo,
+                          double hi);
+
+}  // namespace gva
+
+#endif  // GVA_TIMESERIES_TRANSFORMS_H_

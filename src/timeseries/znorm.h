@@ -1,0 +1,28 @@
+#ifndef GVA_TIMESERIES_ZNORM_H_
+#define GVA_TIMESERIES_ZNORM_H_
+
+#include <span>
+#include <vector>
+
+namespace gva {
+
+/// Standard-deviation threshold below which a subsequence is considered
+/// flat. Matches the default used by GrammarViz / jmotif: z-normalizing a
+/// near-constant window would amplify noise into spurious shape, so flat
+/// windows are only mean-centered.
+inline constexpr double kDefaultZNormEpsilon = 0.01;
+
+/// Z-normalizes `values` into `out` (resized to match): subtracts the mean
+/// and divides by the population standard deviation, unless the standard
+/// deviation is below `epsilon`, in which case values are only mean-centered
+/// (paper Section 2, "Z-normalization").
+void ZNormalize(std::span<const double> values, std::vector<double>& out,
+                double epsilon = kDefaultZNormEpsilon);
+
+/// Convenience overload returning a fresh vector.
+std::vector<double> ZNormalized(std::span<const double> values,
+                                double epsilon = kDefaultZNormEpsilon);
+
+}  // namespace gva
+
+#endif  // GVA_TIMESERIES_ZNORM_H_

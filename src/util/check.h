@@ -1,0 +1,72 @@
+#ifndef GVA_UTIL_CHECK_H_
+#define GVA_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace gva {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Created only on the failing path of GVA_CHECK, so callers can stream
+/// extra context: GVA_CHECK(x > 0) << "x was " << x;
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "GVA_CHECK failure at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace gva
+
+/// Aborts the process with a diagnostic when `condition` is false. Used for
+/// programmer errors (broken invariants, API misuse that cannot be reported
+/// through Status). Enabled in all build types. Extra context may be
+/// streamed: GVA_CHECK(i < n) << "i=" << i;
+#define GVA_CHECK(condition)                                       \
+  switch (0)                                                       \
+  case 0:                                                          \
+  default:                                                         \
+    if (condition)                                                 \
+      ;                                                            \
+    else                                                           \
+      ::gva::internal_check::CheckFailureStream(#condition,        \
+                                                __FILE__, __LINE__)
+
+#define GVA_CHECK_EQ(a, b) GVA_CHECK((a) == (b))
+#define GVA_CHECK_NE(a, b) GVA_CHECK((a) != (b))
+#define GVA_CHECK_LT(a, b) GVA_CHECK((a) < (b))
+#define GVA_CHECK_LE(a, b) GVA_CHECK((a) <= (b))
+#define GVA_CHECK_GT(a, b) GVA_CHECK((a) > (b))
+#define GVA_CHECK_GE(a, b) GVA_CHECK((a) >= (b))
+
+/// Debug-only variant; compiled out (but still type-checked) in NDEBUG
+/// builds.
+#ifdef NDEBUG
+#define GVA_DCHECK(condition) \
+  while (false) GVA_CHECK(condition)
+#else
+#define GVA_DCHECK(condition) GVA_CHECK(condition)
+#endif
+
+#endif  // GVA_UTIL_CHECK_H_

@@ -1,0 +1,79 @@
+#ifndef GVA_UTIL_STATUSOR_H_
+#define GVA_UTIL_STATUSOR_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace gva {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Accessing the value of a failed StatusOr aborts the process
+/// (there are no exceptions in this library), so callers must check ok()
+/// first or use GVA_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit on purpose, mirroring absl::StatusOr).
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error. `status` must not be OK.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    GVA_CHECK(!std::get<Status>(repr_).ok())
+        << "StatusOr constructed from an OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the contained status: OK when a value is present.
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    GVA_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    GVA_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    GVA_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates `expr` (a StatusOr<T> expression); on error returns the status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define GVA_ASSIGN_OR_RETURN(lhs, expr)                    \
+  GVA_ASSIGN_OR_RETURN_IMPL_(                              \
+      GVA_STATUS_MACRO_CONCAT_(gva_statusor_, __LINE__), lhs, expr)
+
+#define GVA_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define GVA_STATUS_MACRO_CONCAT_(x, y) GVA_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#define GVA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+}  // namespace gva
+
+#endif  // GVA_UTIL_STATUSOR_H_

@@ -1,0 +1,126 @@
+#include "viz/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gva {
+
+namespace {
+
+/// Per-column [min, max] aggregation of `values` into `width` bins.
+struct ColumnRange {
+  double lo;
+  double hi;
+};
+
+std::vector<ColumnRange> BinColumns(std::span<const double> values,
+                                    size_t width) {
+  std::vector<ColumnRange> columns(width,
+                                   {std::numeric_limits<double>::infinity(),
+                                    -std::numeric_limits<double>::infinity()});
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t c = std::min(width - 1, i * width / values.size());
+    columns[c].lo = std::min(columns[c].lo, values[i]);
+    columns[c].hi = std::max(columns[c].hi, values[i]);
+  }
+  return columns;
+}
+
+}  // namespace
+
+std::string RenderSeries(std::span<const double> values,
+                         const std::vector<Interval>& highlights,
+                         const AsciiPlotOptions& options) {
+  if (values.empty() || options.width == 0 || options.height == 0) {
+    return "";
+  }
+  const size_t width = std::min(options.width, values.size());
+  std::vector<ColumnRange> columns = BinColumns(values, width);
+
+  double global_lo = std::numeric_limits<double>::infinity();
+  double global_hi = -global_lo;
+  for (const ColumnRange& c : columns) {
+    global_lo = std::min(global_lo, c.lo);
+    global_hi = std::max(global_hi, c.hi);
+  }
+  if (global_hi <= global_lo) {
+    global_hi = global_lo + 1.0;
+  }
+  const double scale =
+      static_cast<double>(options.height - 1) / (global_hi - global_lo);
+
+  std::vector<std::string> grid(options.height,
+                                std::string(width, ' '));
+  for (size_t c = 0; c < width; ++c) {
+    const size_t row_lo = static_cast<size_t>(
+        std::lround((columns[c].lo - global_lo) * scale));
+    const size_t row_hi = static_cast<size_t>(
+        std::lround((columns[c].hi - global_lo) * scale));
+    for (size_t r = row_lo; r <= row_hi && r < options.height; ++r) {
+      // Row 0 of the grid is the top of the chart.
+      grid[options.height - 1 - r][c] = (r == row_lo || r == row_hi) ? 'o'
+                                                                     : '|';
+    }
+  }
+
+  // Bottom marker row for highlighted intervals.
+  std::string markers(width, ' ');
+  for (size_t c = 0; c < width; ++c) {
+    const size_t begin = c * values.size() / width;
+    const size_t end = (c + 1) * values.size() / width;
+    const Interval column{begin, std::max(end, begin + 1)};
+    for (const Interval& h : highlights) {
+      if (column.Overlaps(h)) {
+        markers[c] = options.highlight;
+        break;
+      }
+    }
+  }
+
+  std::string out;
+  for (const std::string& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  out += std::string(width, '-');
+  out += '\n';
+  out += markers;
+  out += '\n';
+  return out;
+}
+
+std::string RenderDensityShading(std::span<const uint32_t> density,
+                                 size_t width) {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  static constexpr size_t kLevels = sizeof(kShades) - 1;  // exclude NUL
+  if (density.empty() || width == 0) {
+    return "";
+  }
+  width = std::min(width, density.size());
+  uint32_t max_d = 0;
+  for (uint32_t d : density) {
+    max_d = std::max(max_d, d);
+  }
+  std::string out(width, ' ');
+  for (size_t c = 0; c < width; ++c) {
+    const size_t begin = c * density.size() / width;
+    const size_t end =
+        std::max(begin + 1, (c + 1) * density.size() / width);
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      sum += density[i];
+    }
+    const double mean = sum / static_cast<double>(end - begin);
+    size_t level = 0;
+    if (max_d > 0) {
+      level = static_cast<size_t>(
+          std::lround(mean / static_cast<double>(max_d) *
+                      static_cast<double>(kLevels - 1)));
+    }
+    out[c] = kShades[std::min(level, kLevels - 1)];
+  }
+  return out;
+}
+
+}  // namespace gva

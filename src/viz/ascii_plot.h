@@ -1,0 +1,38 @@
+#ifndef GVA_VIZ_ASCII_PLOT_H_
+#define GVA_VIZ_ASCII_PLOT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "timeseries/interval.h"
+
+namespace gva {
+
+/// Options for terminal chart rendering.
+struct AsciiPlotOptions {
+  size_t width = 100;
+  size_t height = 12;
+  /// Marker for highlighted columns (those overlapping any interval passed
+  /// to RenderSeries).
+  char highlight = '!';
+};
+
+/// Renders `values` as a width x height character chart (columns are
+/// min-max bins over the series). Columns overlapping any interval in
+/// `highlights` carry the highlight marker on the bottom axis row — this is
+/// the text analogue of the paper's red/blue anomaly shading.
+std::string RenderSeries(std::span<const double> values,
+                         const std::vector<Interval>& highlights = {},
+                         const AsciiPlotOptions& options = {});
+
+/// Renders a density curve as one shading line: per column, mean density
+/// mapped onto " .:-=+*#%@" (dark = high rule density, space = zero). The
+/// text analogue of GrammarViz's Figure 12 background shading.
+std::string RenderDensityShading(std::span<const uint32_t> density,
+                                 size_t width = 100);
+
+}  // namespace gva
+
+#endif  // GVA_VIZ_ASCII_PLOT_H_

@@ -1,0 +1,89 @@
+#include "viz/report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "grammar/grammar_printer.h"
+#include "util/strings.h"
+
+namespace gva {
+
+std::string DiscordTable(const RraDetection& detection) {
+  std::ostringstream out;
+  out << StrFormat("%-5s %-10s %-8s %-12s %s\n", "Rank", "Position", "Length",
+                   "NN distance", "Rule");
+  for (size_t i = 0; i < detection.result.discords.size(); ++i) {
+    const DiscordRecord& d = detection.result.discords[i];
+    std::string rule = d.rule >= 0 ? StrFormat("R%d", d.rule)
+                                   : std::string("zero-coverage gap");
+    out << StrFormat("%-5zu %-10zu %-8zu %-12.5f %s\n", i, d.position,
+                     d.length, d.distance, rule.c_str());
+  }
+  out << StrFormat("distance calls: %s\n",
+                   FormatWithThousands(detection.result.distance_calls)
+                       .c_str());
+  return out.str();
+}
+
+std::string DensityAnomalyTable(const DensityDetection& detection) {
+  std::ostringstream out;
+  out << StrFormat("%-5s %-16s %-8s %-12s %s\n", "Rank", "Interval", "Length",
+                   "MinDensity", "MeanDensity");
+  for (const DensityAnomaly& a : detection.anomalies) {
+    out << StrFormat("%-5zu [%zu, %zu)%*s %-8zu %-12u %.3f\n", a.rank,
+                     a.span.start, a.span.end, 0, "", a.span.length(),
+                     a.min_density, a.mean_density);
+  }
+  return out.str();
+}
+
+std::string RuleStatsTable(const GrammarDecomposition& decomposition,
+                           size_t max_rules) {
+  // Aggregate per-rule interval statistics.
+  const size_t num_rules = decomposition.grammar.grammar.size();
+  struct Stats {
+    size_t count = 0;
+    size_t min_len = 0;
+    size_t max_len = 0;
+    size_t total_len = 0;
+  };
+  std::vector<Stats> stats(num_rules);
+  for (const RuleInterval& ri : decomposition.intervals) {
+    if (ri.rule < 0) {
+      continue;
+    }
+    Stats& s = stats[static_cast<size_t>(ri.rule)];
+    const size_t len = ri.span.length();
+    if (s.count == 0) {
+      s.min_len = len;
+      s.max_len = len;
+    } else {
+      s.min_len = std::min(s.min_len, len);
+      s.max_len = std::max(s.max_len, len);
+    }
+    s.total_len += len;
+    ++s.count;
+  }
+
+  std::ostringstream out;
+  out << StrFormat("%-6s %-6s %-10s %-10s %-12s %s\n", "Rule", "Used",
+                   "MeanLen", "MinLen", "MaxLen", "RHS");
+  const size_t limit = std::min(max_rules + 1, num_rules);
+  for (size_t r = 1; r < limit; ++r) {
+    const Stats& s = stats[r];
+    const double mean =
+        s.count > 0 ? static_cast<double>(s.total_len) /
+                          static_cast<double>(s.count)
+                    : 0.0;
+    out << StrFormat("R%-5zu %-6zu %-10.1f %-10zu %-12zu %s\n", r, s.count,
+                     mean, s.min_len, s.max_len,
+                     RuleRhsToString(decomposition.grammar, r).c_str());
+  }
+  if (num_rules > limit) {
+    out << StrFormat("... (%zu more rules)\n", num_rules - limit);
+  }
+  return out.str();
+}
+
+}  // namespace gva

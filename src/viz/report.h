@@ -1,0 +1,26 @@
+#ifndef GVA_VIZ_REPORT_H_
+#define GVA_VIZ_REPORT_H_
+
+#include <string>
+
+#include "core/rra.h"
+#include "core/rule_density_detector.h"
+
+namespace gva {
+
+/// Renders the ranked-discord table of the GrammarViz 2.0 anomaly pane
+/// (paper Figure 11): rank, position, length, NN distance, source rule.
+std::string DiscordTable(const RraDetection& detection);
+
+/// Renders the rule-density anomaly report (paper Figure 12): ranked
+/// low-density intervals with their density statistics.
+std::string DensityAnomalyTable(const DensityDetection& detection);
+
+/// Renders the grammar-rules pane: one line per rule with use count,
+/// expansion size in tokens, and mean/min/max mapped subsequence length.
+std::string RuleStatsTable(const GrammarDecomposition& decomposition,
+                           size_t max_rules = 20);
+
+}  // namespace gva
+
+#endif  // GVA_VIZ_REPORT_H_

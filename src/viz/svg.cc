@@ -1,0 +1,201 @@
+#include "viz/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace gva {
+
+namespace {
+
+constexpr size_t kMarginLeft = 8;
+constexpr size_t kMarginTop = 24;
+constexpr size_t kPanelGap = 14;
+
+/// Min/max with a guard for flat data.
+std::pair<double, double> Range(std::span<const double> values) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (double v : values) {
+    if (std::isfinite(v)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  if (hi <= lo) {
+    hi = lo + 1.0;
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+SvgFigure::SvgFigure(std::string title, size_t width, size_t panel_height)
+    : title_(std::move(title)), width_(width), panel_height_(panel_height) {}
+
+void SvgFigure::AddSeriesPanel(const std::string& label,
+                               std::span<const double> values,
+                               const std::vector<Interval>& highlights) {
+  Panel panel;
+  panel.label = label;
+  if (values.empty()) {
+    panels_.push_back(std::move(panel));
+    return;
+  }
+  const auto [lo, hi] = Range(values);
+  const double x_scale =
+      static_cast<double>(width_) / static_cast<double>(values.size());
+  const double y_scale = static_cast<double>(panel_height_ - 8) / (hi - lo);
+
+  for (const Interval& h : highlights) {
+    if (h.empty() || h.start >= values.size()) {
+      continue;
+    }
+    const double x = static_cast<double>(h.start) * x_scale;
+    const double w =
+        static_cast<double>(std::min(h.end, values.size()) - h.start) *
+        x_scale;
+    panel.body += StrFormat(
+        "<rect x='%.1f' y='0' width='%.1f' height='%zu' fill='#d62728' "
+        "fill-opacity='0.18'/>",
+        x, w, panel_height_);
+  }
+
+  std::string points;
+  // Cap the polyline at ~4 points per pixel to keep files small.
+  const size_t stride =
+      std::max<size_t>(1, values.size() / (4 * width_));
+  for (size_t i = 0; i < values.size(); i += stride) {
+    const double x = static_cast<double>(i) * x_scale;
+    const double y = static_cast<double>(panel_height_ - 4) -
+                     (values[i] - lo) * y_scale;
+    points += StrFormat("%.1f,%.1f ", x, y);
+  }
+  panel.body += StrFormat(
+      "<polyline points='%s' fill='none' stroke='#1f77b4' "
+      "stroke-width='1'/>",
+      points.c_str());
+  panels_.push_back(std::move(panel));
+}
+
+void SvgFigure::AddDensityPanel(const std::string& label,
+                                std::span<const uint32_t> density) {
+  Panel panel;
+  panel.label = label;
+  if (density.empty()) {
+    panels_.push_back(std::move(panel));
+    return;
+  }
+  uint32_t max_d = 1;
+  for (uint32_t d : density) {
+    max_d = std::max(max_d, d);
+  }
+  const double x_scale =
+      static_cast<double>(width_) / static_cast<double>(density.size());
+  const double y_scale =
+      static_cast<double>(panel_height_ - 8) / static_cast<double>(max_d);
+
+  std::string points =
+      StrFormat("0,%zu ", panel_height_ - 4);  // close the area at zero
+  const size_t stride =
+      std::max<size_t>(1, density.size() / (4 * width_));
+  for (size_t i = 0; i < density.size(); i += stride) {
+    const double x = static_cast<double>(i) * x_scale;
+    const double y = static_cast<double>(panel_height_ - 4) -
+                     static_cast<double>(density[i]) * y_scale;
+    points += StrFormat("%.1f,%.1f ", x, y);
+  }
+  points += StrFormat("%zu,%zu", width_, panel_height_ - 4);
+  panel.body += StrFormat(
+      "<polygon points='%s' fill='#2ca02c' fill-opacity='0.45' "
+      "stroke='#2ca02c' stroke-width='1'/>",
+      points.c_str());
+  panels_.push_back(std::move(panel));
+}
+
+void SvgFigure::AddStemPanel(const std::string& label,
+                             const std::vector<size_t>& positions,
+                             const std::vector<double>& heights,
+                             size_t domain) {
+  Panel panel;
+  panel.label = label;
+  if (positions.empty() || domain == 0 ||
+      positions.size() != heights.size()) {
+    panels_.push_back(std::move(panel));
+    return;
+  }
+  double max_h = 0.0;
+  for (double h : heights) {
+    if (std::isfinite(h)) {
+      max_h = std::max(max_h, h);
+    }
+  }
+  if (max_h <= 0.0) {
+    max_h = 1.0;
+  }
+  const double x_scale =
+      static_cast<double>(width_) / static_cast<double>(domain);
+  const double y_scale = static_cast<double>(panel_height_ - 8) / max_h;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (!std::isfinite(heights[i])) {
+      continue;
+    }
+    const double x = static_cast<double>(positions[i]) * x_scale;
+    const double y = static_cast<double>(panel_height_ - 4) -
+                     heights[i] * y_scale;
+    panel.body += StrFormat(
+        "<line x1='%.1f' y1='%zu' x2='%.1f' y2='%.1f' stroke='#9467bd' "
+        "stroke-width='1'/>",
+        x, panel_height_ - 4, x, y);
+  }
+  panels_.push_back(std::move(panel));
+}
+
+std::string SvgFigure::ToSvg() const {
+  const size_t total_height =
+      kMarginTop + panels_.size() * (panel_height_ + kPanelGap);
+  std::string svg = StrFormat(
+      "<svg xmlns='http://www.w3.org/2000/svg' width='%zu' height='%zu' "
+      "font-family='sans-serif'>\n",
+      width_ + 2 * kMarginLeft, total_height);
+  svg += StrFormat(
+      "<text x='%zu' y='16' font-size='14' font-weight='bold'>%s</text>\n",
+      kMarginLeft, title_.c_str());
+  size_t y = kMarginTop;
+  for (const Panel& panel : panels_) {
+    svg += StrFormat("<g transform='translate(%zu,%zu)'>\n", kMarginLeft, y);
+    svg += StrFormat(
+        "<rect x='0' y='0' width='%zu' height='%zu' fill='#fafafa' "
+        "stroke='#cccccc'/>\n",
+        width_, panel_height_);
+    svg += panel.body;
+    svg += StrFormat(
+        "\n<text x='4' y='12' font-size='11' fill='#555555'>%s</text>\n",
+        panel.label.c_str());
+    svg += "</g>\n";
+    y += panel_height_ + kPanelGap;
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+Status SvgFigure::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << ToSvg();
+  if (!out) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gva

@@ -1,0 +1,63 @@
+#ifndef GVA_VIZ_SVG_H_
+#define GVA_VIZ_SVG_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "timeseries/interval.h"
+#include "util/status.h"
+
+namespace gva {
+
+/// Multi-panel SVG figure builder — the library's replacement for the
+/// paper's matplotlib/GUI plots. Panels stack vertically (series on top,
+/// rule density below, NN distances below that, like the paper's Figures
+/// 2 and 3); intervals can be highlighted as translucent bands.
+class SvgFigure {
+ public:
+  /// `width`/`panel_height` in pixels.
+  explicit SvgFigure(std::string title, size_t width = 960,
+                     size_t panel_height = 160);
+
+  /// Adds a line-plot panel. `highlights` become red translucent bands.
+  void AddSeriesPanel(const std::string& label,
+                      std::span<const double> values,
+                      const std::vector<Interval>& highlights = {});
+
+  /// Adds a filled step-area panel for a density curve.
+  void AddDensityPanel(const std::string& label,
+                       std::span<const uint32_t> density);
+
+  /// Adds a stem panel (vertical lines at positions with given heights),
+  /// like the paper's per-interval NN-distance panels. `positions` and
+  /// `heights` must be equal length; non-finite heights are skipped.
+  void AddStemPanel(const std::string& label,
+                    const std::vector<size_t>& positions,
+                    const std::vector<double>& heights, size_t domain);
+
+  /// Number of panels added so far.
+  size_t panels() const { return panels_.size(); }
+
+  /// Serializes the figure to SVG markup.
+  std::string ToSvg() const;
+
+  /// Writes the figure to a file.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Panel {
+    std::string body;  // inner SVG markup, in panel-local coordinates
+    std::string label;
+  };
+
+  std::string title_;
+  size_t width_;
+  size_t panel_height_;
+  std::vector<Panel> panels_;
+};
+
+}  // namespace gva
+
+#endif  // GVA_VIZ_SVG_H_

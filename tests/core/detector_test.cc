@@ -1,0 +1,95 @@
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "datasets/simple.h"
+
+namespace gva {
+namespace {
+
+SaxOptions DemoSax() {
+  SaxOptions sax;
+  sax.window = 200;
+  sax.paa_size = 4;
+  sax.alphabet_size = 3;
+  return sax;
+}
+
+class DetectorInterfaceTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(DetectorInterfaceTest, FactoryProducesWorkingDetector) {
+  auto detector = MakeDetectorByName(GetParam(), DemoSax());
+  ASSERT_TRUE(detector.ok());
+  EXPECT_EQ((*detector)->name(), GetParam());
+
+  LabeledSeries data = MakeSineWithAnomaly(2000, 100.0, 0.02, 1000, 120, 42);
+  auto detection = (*detector)->Detect(data.series, 3);
+  ASSERT_TRUE(detection.ok()) << GetParam();
+  ASSERT_FALSE(detection->anomalies.empty()) << GetParam();
+  // Ranked: scores non-increasing, ranks consecutive.
+  for (size_t i = 0; i < detection->anomalies.size(); ++i) {
+    EXPECT_EQ(detection->anomalies[i].rank, i);
+    if (i > 0) {
+      EXPECT_GE(detection->anomalies[i - 1].score,
+                detection->anomalies[i].score);
+    }
+    EXPECT_GE(detection->anomalies[i].score, 0.0);
+  }
+}
+
+TEST_P(DetectorInterfaceTest, TopAnomalyHitsPlantedAnomaly) {
+  auto detector = MakeDetectorByName(GetParam(), DemoSax());
+  ASSERT_TRUE(detector.ok());
+  LabeledSeries data = MakeSineWithAnomaly(2000, 100.0, 0.02, 1000, 150, 7);
+  auto detection = (*detector)->Detect(data.series, 3);
+  ASSERT_TRUE(detection.ok());
+  std::vector<Interval> found;
+  for (const UnifiedAnomaly& a : detection->anomalies) {
+    found.push_back(a.span);
+  }
+  EXPECT_GT(Recall(found, data.anomalies, DemoSax().window), 0.0)
+      << GetParam();
+}
+
+TEST_P(DetectorInterfaceTest, ErrorsPropagateThroughInterface) {
+  auto detector = MakeDetectorByName(GetParam(), DemoSax());
+  ASSERT_TRUE(detector.ok());
+  std::vector<double> too_short(10, 0.0);
+  EXPECT_FALSE((*detector)->Detect(too_short, 3).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectors, DetectorInterfaceTest,
+                         ::testing::Values("rule-density", "rra",
+                                           "rare-word", "compression"));
+
+TEST(DetectorFactoryTest, UnknownNameFails) {
+  auto detector = MakeDetectorByName("nope", DemoSax());
+  EXPECT_FALSE(detector.ok());
+  EXPECT_EQ(detector.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DetectorFactoryTest, AvailableDetectorsAllConstruct) {
+  for (const std::string& name : AvailableDetectors()) {
+    EXPECT_TRUE(MakeDetectorByName(name, DemoSax()).ok()) << name;
+  }
+}
+
+TEST(DetectorFactoryTest, OnlyRraSpendsDistanceCalls) {
+  LabeledSeries data = MakeSineWithAnomaly(1500, 75.0, 0.03, 700, 90, 3);
+  for (const std::string& name : AvailableDetectors()) {
+    auto detector = MakeDetectorByName(name, DemoSax());
+    ASSERT_TRUE(detector.ok());
+    auto detection = (*detector)->Detect(data.series, 2);
+    ASSERT_TRUE(detection.ok());
+    if (name == "rra") {
+      EXPECT_GT(detection->distance_calls, 0u);
+    } else {
+      EXPECT_EQ(detection->distance_calls, 0u) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gva

@@ -1,0 +1,133 @@
+#include "core/motif.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "datasets/ecg.h"
+#include "datasets/simple.h"
+
+namespace gva {
+namespace {
+
+MotifOptions Opts(size_t window, size_t paa = 4, size_t alpha = 4) {
+  MotifOptions o;
+  o.sax.window = window;
+  o.sax.paa_size = paa;
+  o.sax.alphabet_size = alpha;
+  return o;
+}
+
+TEST(MotifTest, PeriodicSeriesYieldsFrequentMotifs) {
+  std::vector<double> series = MakeSine(3000, 100.0, 0.02, 1);
+  auto detection = FindMotifs(series, Opts(200));
+  ASSERT_TRUE(detection.ok());
+  ASSERT_FALSE(detection->motifs.empty());
+  // The top motif repeats many times across 30 periods.
+  EXPECT_GE(detection->motifs[0].frequency, 5u);
+}
+
+TEST(MotifTest, RankedByFrequencyDescending) {
+  EcgOptions ecg;
+  ecg.num_beats = 50;
+  LabeledSeries data = MakeEcg(ecg);
+  auto detection = FindMotifs(data.series, Opts(120, 6, 4));
+  ASSERT_TRUE(detection.ok());
+  for (size_t i = 1; i < detection->motifs.size(); ++i) {
+    EXPECT_GE(detection->motifs[i - 1].frequency,
+              detection->motifs[i].frequency);
+    EXPECT_EQ(detection->motifs[i].rank, i);
+  }
+}
+
+TEST(MotifTest, OccurrencesHaveVariableLengths) {
+  EcgOptions ecg;
+  ecg.num_beats = 60;
+  LabeledSeries data = MakeEcg(ecg);
+  auto detection = FindMotifs(data.series, Opts(120, 6, 4));
+  ASSERT_TRUE(detection.ok());
+  ASSERT_FALSE(detection->motifs.empty());
+  bool any_variable = false;
+  for (const Motif& m : detection->motifs) {
+    EXPECT_EQ(m.occurrences.size(), m.frequency);
+    EXPECT_LE(m.min_length, m.max_length);
+    EXPECT_GE(m.mean_length, static_cast<double>(m.min_length));
+    EXPECT_LE(m.mean_length, static_cast<double>(m.max_length));
+    if (m.min_length != m.max_length) {
+      any_variable = true;
+    }
+    EXPECT_FALSE(m.rhs.empty());
+  }
+  EXPECT_TRUE(any_variable)
+      << "numerosity reduction should produce variable-length occurrences";
+}
+
+TEST(MotifTest, MotifOccurrencesLookAlike) {
+  // Occurrences of the top motif must be far closer to each other than the
+  // planted anomaly is to anything — motifs and discords are inverses.
+  std::vector<double> series = MakeSine(2000, 100.0, 0.01, 3);
+  auto detection = FindMotifs(series, Opts(200, 4, 3));
+  ASSERT_TRUE(detection.ok());
+  ASSERT_FALSE(detection->motifs.empty());
+  const Motif& top = detection->motifs[0];
+  ASSERT_GE(top.occurrences.size(), 2u);
+  // Compare the first two occurrences at the shorter length.
+  const Interval& a = top.occurrences[0];
+  const Interval& b = top.occurrences[1];
+  const size_t len = std::min(a.length(), b.length()) - 60;
+  // Occurrence starts are quantized by numerosity reduction; allow a small
+  // alignment slack when comparing shapes.
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t shift = 0; shift <= 50; shift += 2) {
+    if (b.start + shift + len > series.size()) {
+      break;
+    }
+    double diff = 0.0;
+    for (size_t i = 0; i < len; ++i) {
+      diff += std::abs(series[a.start + i] - series[b.start + shift + i]);
+    }
+    best = std::min(best, diff / static_cast<double>(len));
+  }
+  EXPECT_LT(best, 0.25);
+}
+
+TEST(MotifTest, MinFrequencyFilters) {
+  std::vector<double> series = MakeSine(1500, 75.0, 0.03, 5);
+  MotifOptions strict = Opts(150);
+  strict.min_frequency = 1000;  // nothing repeats that often
+  auto detection = FindMotifs(series, strict);
+  ASSERT_TRUE(detection.ok());
+  EXPECT_TRUE(detection->motifs.empty());
+}
+
+TEST(MotifTest, MaxMotifsCap) {
+  std::vector<double> series = MakeSine(3000, 60.0, 0.05, 7);
+  MotifOptions opts = Opts(120);
+  opts.min_frequency = 2;
+  opts.max_motifs = 3;
+  auto detection = FindMotifs(series, opts);
+  ASSERT_TRUE(detection.ok());
+  EXPECT_LE(detection->motifs.size(), 3u);
+}
+
+TEST(MotifTest, PropagatesInvalidOptions) {
+  std::vector<double> series(50, 0.0);
+  EXPECT_FALSE(FindMotifs(series, Opts(100)).ok());
+}
+
+TEST(MotifTest, NoiseHasFewOrNoStrongMotifs) {
+  std::vector<double> noise = MakeNoise(2000, 1.0, 11);
+  MotifOptions opts = Opts(100);
+  opts.min_frequency = 5;
+  auto detection = FindMotifs(noise, opts);
+  ASSERT_TRUE(detection.ok());
+  // Pure noise may produce a couple of coincidental repeats but nothing
+  // dominant.
+  for (const Motif& m : detection->motifs) {
+    EXPECT_LT(m.frequency, 50u);
+  }
+}
+
+}  // namespace
+}  // namespace gva

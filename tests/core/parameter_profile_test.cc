@@ -1,0 +1,105 @@
+#include "core/parameter_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "core/rule_density_detector.h"
+#include "datasets/ecg.h"
+#include "datasets/simple.h"
+
+namespace gva {
+namespace {
+
+SaxOptions Opts(size_t window, size_t paa, size_t alpha) {
+  SaxOptions o;
+  o.window = window;
+  o.paa_size = paa;
+  o.alphabet_size = alpha;
+  return o;
+}
+
+TEST(ProfileTest, BasicFieldsPopulated) {
+  std::vector<double> series = MakeSine(1000, 50.0, 0.05, 1);
+  auto profile = ProfileParameters(series, Opts(100, 5, 4));
+  ASSERT_TRUE(profile.ok());
+  EXPECT_GT(profile->tokens, 0u);
+  EXPECT_GE(profile->rules, 1u);
+  EXPECT_GT(profile->approximation_error, 0.0);
+  EXPECT_GE(profile->compression, 0.0);
+  EXPECT_LE(profile->compression, 1.0);
+}
+
+TEST(ProfileTest, FinerDiscretizationApproximatesBetter) {
+  std::vector<double> series = MakeSine(1500, 60.0, 0.02, 2);
+  auto coarse = ProfileParameters(series, Opts(120, 3, 3));
+  auto fine = ProfileParameters(series, Opts(120, 12, 10));
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_LT(fine->approximation_error, coarse->approximation_error);
+}
+
+TEST(ProfileTest, PeriodicSeriesCompressesBetterThanNoise) {
+  std::vector<double> periodic = MakeSine(2000, 80.0, 0.02, 3);
+  std::vector<double> noise = MakeNoise(2000, 1.0, 3);
+  auto p = ProfileParameters(periodic, Opts(80, 4, 4));
+  auto n = ProfileParameters(noise, Opts(80, 4, 4));
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(n.ok());
+  EXPECT_GT(p->compression, n->compression);
+}
+
+TEST(ProfileTest, InvalidOptionsRejected) {
+  std::vector<double> series(100, 0.0);
+  EXPECT_FALSE(ProfileParameters(series, Opts(0, 4, 4)).ok());
+  EXPECT_FALSE(ProfileParameters(series, Opts(200, 4, 4)).ok());
+}
+
+TEST(SweepTest, SkipsInvalidCombinations) {
+  std::vector<double> series = MakeSine(400, 40.0, 0.05, 4);
+  ParameterGrid grid;
+  grid.windows = {50, 100, 1000};  // 1000 doesn't fit
+  grid.paa_sizes = {4, 60};        // 60 > 50
+  grid.alphabet_sizes = {4};
+  auto profiles = SweepParameterGrid(series, grid);
+  ASSERT_TRUE(profiles.ok());
+  // 50x4, 100x4, 100x60 -> invalid paa>window pruned: expect 3 valid:
+  // (50,4), (100,4), (100,60).
+  EXPECT_EQ(profiles->size(), 3u);
+}
+
+TEST(SweepTest, FailsWhenNothingFits) {
+  std::vector<double> series(20, 0.0);
+  ParameterGrid grid;
+  grid.windows = {500};
+  EXPECT_FALSE(SweepParameterGrid(series, grid).ok());
+}
+
+TEST(SuggestTest, SuggestionIsValidAndUsable) {
+  LabeledSeries data = MakeSineWithAnomaly(2000, 100.0, 0.02, 1000, 120, 5);
+  auto suggested = SuggestParameters(data.series);
+  ASSERT_TRUE(suggested.ok()) << suggested.status();
+  EXPECT_TRUE(suggested->Validate().ok());
+
+  // The suggested parameters must let the density detector find the
+  // planted anomaly.
+  auto detection = DetectDensityAnomalies(data.series, *suggested, {});
+  ASSERT_TRUE(detection.ok());
+  ASSERT_FALSE(detection->anomalies.empty());
+  EXPECT_TRUE(HitsAnyTruth(detection->anomalies[0].span, data.anomalies,
+                           suggested->window));
+}
+
+TEST(SuggestTest, WorksOnEcg) {
+  EcgOptions ecg;
+  ecg.num_beats = 40;
+  LabeledSeries data = MakeEcg(ecg);
+  auto suggested = SuggestParameters(data.series);
+  ASSERT_TRUE(suggested.ok());
+  // The ECG's dominant cycle is ~120 samples; a usable suggestion is within
+  // a small multiple of it.
+  EXPECT_GE(suggested->window, 40u);
+  EXPECT_LE(suggested->window, 400u);
+}
+
+}  // namespace
+}  // namespace gva

@@ -1,0 +1,143 @@
+#include "core/streaming.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "core/rule_density_detector.h"
+#include "datasets/ecg.h"
+#include "datasets/simple.h"
+
+namespace gva {
+namespace {
+
+StreamingOptions Opts(size_t window, size_t paa = 4, size_t alpha = 4) {
+  StreamingOptions o;
+  o.sax.window = window;
+  o.sax.paa_size = paa;
+  o.sax.alphabet_size = alpha;
+  return o;
+}
+
+TEST(StreamingTest, CreateValidatesOptions) {
+  EXPECT_TRUE(StreamingAnomalyMonitor::Create(Opts(100)).ok());
+  EXPECT_FALSE(StreamingAnomalyMonitor::Create(Opts(0)).ok());
+  EXPECT_FALSE(StreamingAnomalyMonitor::Create(Opts(10, 20)).ok());
+}
+
+TEST(StreamingTest, ReportRequiresOneFullWindow) {
+  auto monitor = StreamingAnomalyMonitor::Create(Opts(50));
+  ASSERT_TRUE(monitor.ok());
+  for (int i = 0; i < 49; ++i) {
+    monitor->Push(static_cast<double>(i));
+  }
+  EXPECT_FALSE(monitor->Report().ok());
+  monitor->Push(49.0);
+  EXPECT_TRUE(monitor->Report().ok());
+}
+
+TEST(StreamingTest, TokensMatchBatchDiscretization) {
+  LabeledSeries data = MakeSineWithAnomaly(1500, 60.0, 0.03, 700, 80, 9);
+  StreamingOptions opts = Opts(120, 5, 4);
+  auto monitor = StreamingAnomalyMonitor::Create(opts);
+  ASSERT_TRUE(monitor.ok());
+  monitor->PushAll(data.series);
+
+  auto batch = Discretize(data.series, opts.sax);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(monitor->tokens_emitted(), batch->size());
+}
+
+// The defining property: a streaming report over a prefix equals the batch
+// detection over the same prefix.
+TEST(StreamingTest, MatchesBatchDetection) {
+  LabeledSeries data = MakeSineWithAnomaly(2000, 100.0, 0.02, 1000, 120, 3);
+  StreamingOptions opts = Opts(200, 4, 3);
+  auto monitor = StreamingAnomalyMonitor::Create(opts);
+  ASSERT_TRUE(monitor.ok());
+  monitor->PushAll(data.series);
+
+  auto streaming = monitor->Report();
+  ASSERT_TRUE(streaming.ok());
+  auto batch = DetectDensityAnomalies(data.series, opts.sax, opts.density);
+  ASSERT_TRUE(batch.ok());
+
+  EXPECT_EQ(streaming->decomposition.density, batch->decomposition.density);
+  EXPECT_EQ(streaming->decomposition.records.words,
+            batch->decomposition.records.words);
+  EXPECT_EQ(streaming->decomposition.records.offsets,
+            batch->decomposition.records.offsets);
+  ASSERT_EQ(streaming->anomalies.size(), batch->anomalies.size());
+  for (size_t i = 0; i < batch->anomalies.size(); ++i) {
+    EXPECT_EQ(streaming->anomalies[i].span, batch->anomalies[i].span);
+  }
+}
+
+TEST(StreamingTest, MatchesBatchAtSeveralPrefixes) {
+  LabeledSeries data = MakeSineWithAnomaly(1600, 80.0, 0.03, 800, 100, 5);
+  StreamingOptions opts = Opts(160, 4, 4);
+  auto monitor = StreamingAnomalyMonitor::Create(opts);
+  ASSERT_TRUE(monitor.ok());
+
+  size_t consumed = 0;
+  for (size_t checkpoint : {400u, 900u, 1600u}) {
+    while (consumed < checkpoint) {
+      monitor->Push(data.series[consumed++]);
+    }
+    auto streaming = monitor->Report();
+    ASSERT_TRUE(streaming.ok());
+    std::span<const double> prefix(data.series.values().data(), checkpoint);
+    auto batch = DetectDensityAnomalies(prefix, opts.sax, opts.density);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(streaming->decomposition.density,
+              batch->decomposition.density)
+        << "prefix " << checkpoint;
+  }
+}
+
+// Early detection: the anomaly becomes visible in the report shortly after
+// the stream passes it — the paper's "early anomaly detection in real-time
+// data streams" (Section 7).
+TEST(StreamingTest, DetectsAnomalyShortlyAfterItStreamsBy) {
+  EcgOptions ecg;
+  ecg.num_beats = 50;
+  ecg.anomalous_beats = {30};
+  LabeledSeries data = MakeEcg(ecg);
+  const Interval truth = data.anomalies[0];
+
+  StreamingOptions opts;
+  opts.sax = data.recommended;
+  opts.sax.paa_size = 6;
+  opts.density.threshold_fraction = 0.05;
+  auto monitor = StreamingAnomalyMonitor::Create(opts);
+  ASSERT_TRUE(monitor.ok());
+
+  // Stream until a few beats past the anomaly.
+  const size_t horizon = truth.end + 4 * ecg.beat_length;
+  for (size_t i = 0; i < horizon; ++i) {
+    monitor->Push(data.series[i]);
+  }
+  auto report = monitor->Report();
+  ASSERT_TRUE(report.ok());
+  std::vector<Interval> found;
+  for (const DensityAnomaly& a : report->anomalies) {
+    found.push_back(a.span);
+  }
+  EXPECT_TRUE(HitsAnyTruth(truth, found, opts.sax.window))
+      << "anomaly not visible " << horizon - truth.end
+      << " samples after it passed";
+}
+
+TEST(StreamingTest, MonitorIsMovable) {
+  auto monitor = StreamingAnomalyMonitor::Create(Opts(50));
+  ASSERT_TRUE(monitor.ok());
+  StreamingAnomalyMonitor moved = std::move(monitor).value();
+  for (int i = 0; i < 100; ++i) {
+    moved.Push(std::sin(0.3 * i));
+  }
+  EXPECT_EQ(moved.samples_seen(), 100u);
+}
+
+}  // namespace
+}  // namespace gva

@@ -1,0 +1,185 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/ecg.h"
+#include "datasets/power_demand.h"
+#include "datasets/respiration.h"
+#include "datasets/simple.h"
+#include "datasets/tek.h"
+#include "datasets/trajectory.h"
+#include "datasets/video.h"
+#include "timeseries/stats.h"
+
+namespace gva {
+namespace {
+
+void CheckLabeledSeries(const LabeledSeries& data, size_t min_length) {
+  EXPECT_GE(data.series.size(), min_length) << data.name;
+  EXPECT_FALSE(data.name.empty());
+  EXPECT_TRUE(data.recommended.Validate().ok()) << data.name;
+  for (const Interval& a : data.anomalies) {
+    EXPECT_GT(a.length(), 0u);
+    EXPECT_LE(a.end, data.series.size()) << data.name;
+  }
+  for (size_t i = 1; i < data.anomalies.size(); ++i) {
+    EXPECT_LE(data.anomalies[i - 1].end, data.anomalies[i].start)
+        << "anomalies must be sorted and disjoint";
+  }
+  // Values are finite.
+  for (double v : data.series.values()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(EcgTest, StructureAndDeterminism) {
+  EcgOptions opts;
+  LabeledSeries a = MakeEcg(opts);
+  LabeledSeries b = MakeEcg(opts);
+  CheckLabeledSeries(a, opts.num_beats * opts.beat_length * 9 / 10);
+  EXPECT_EQ(a.series.values(), b.series.values()) << "seeded determinism";
+  EXPECT_EQ(a.anomalies.size(), 1u);
+}
+
+TEST(EcgTest, AnomalousBeatDiffersFromNormal) {
+  EcgOptions opts;
+  opts.length_jitter = 0.0;
+  opts.noise = 0.0;
+  opts.anomalous_beats = {2};
+  LabeledSeries data = MakeEcg(opts);
+  // Beat 1 (normal) vs beat 2 (anomalous) must differ substantially.
+  auto beat1 = data.series.Subsequence(opts.beat_length, opts.beat_length);
+  auto beat2 =
+      data.series.Subsequence(2 * opts.beat_length, opts.beat_length);
+  double diff = 0.0;
+  for (size_t i = 0; i < opts.beat_length; ++i) {
+    diff += std::abs(beat1[i] - beat2[i]);
+  }
+  EXPECT_GT(diff / opts.beat_length, 0.05);
+  // Two normal beats are identical without jitter/noise.
+  auto beat3 = data.series.Subsequence(3 * opts.beat_length,
+                                       opts.beat_length);
+  for (size_t i = 0; i < opts.beat_length; ++i) {
+    EXPECT_NEAR(beat1[i], beat3[i], 1e-12);
+  }
+}
+
+TEST(PowerDemandTest, WeekStructure) {
+  PowerDemandOptions opts;
+  LabeledSeries data = MakePowerDemand(opts);
+  CheckLabeledSeries(data, opts.weeks * 7 * opts.samples_per_day);
+  EXPECT_EQ(data.series.size(), opts.weeks * 7 * opts.samples_per_day);
+  EXPECT_EQ(data.anomalies.size(), opts.holiday_days.size());
+
+  // A weekday daytime sample is clearly above a weekend daytime sample.
+  const size_t noon = opts.samples_per_day / 2;
+  const double weekday_noon = data.series[noon];                    // Monday
+  const double weekend_noon = data.series[5 * opts.samples_per_day + noon];
+  EXPECT_GT(weekday_noon, weekend_noon + 0.3);
+}
+
+TEST(PowerDemandTest, HolidayLooksLikeWeekend) {
+  PowerDemandOptions opts;
+  opts.holiday_days = {121};  // a Wednesday
+  LabeledSeries data = MakePowerDemand(opts);
+  const size_t noon = opts.samples_per_day / 2;
+  const double holiday_noon =
+      data.series[121 * opts.samples_per_day + noon];
+  const double weekend_noon =
+      data.series[5 * opts.samples_per_day + noon];
+  EXPECT_NEAR(holiday_noon, weekend_noon, 0.15);
+}
+
+TEST(VideoTest, AnomalousCycleAnnotated) {
+  VideoOptions opts;
+  LabeledSeries data = MakeVideo(opts);
+  CheckLabeledSeries(data, opts.num_cycles * opts.cycle_length * 9 / 10);
+  ASSERT_EQ(data.anomalies.size(), opts.anomalous_cycles.size());
+  // The anomalous interval is in the interior (cycle 14 of 25).
+  EXPECT_GT(data.anomalies[0].start, data.series.size() / 3);
+  EXPECT_LT(data.anomalies[0].end, data.series.size());
+}
+
+TEST(TekTest, GlitchIsLocalizedDip) {
+  TekOptions opts;
+  opts.noise = 0.0;
+  LabeledSeries data = MakeTek(opts);
+  CheckLabeledSeries(data, opts.num_cycles * opts.cycle_length);
+  ASSERT_EQ(data.anomalies.size(), 1u);
+  // The glitch cycle's plateau dips well below every normal cycle's plateau
+  // (compare the mid-cycle plateau regions; the de-energize undershoot at
+  // the cycle end is shared by all cycles).
+  const Interval& glitch = data.anomalies[0];
+  const size_t plateau_off = opts.cycle_length * 35 / 100;
+  const size_t plateau_len = opts.cycle_length * 30 / 100;
+  const double glitch_plateau_min =
+      Min(data.series.Subsequence(glitch.start + plateau_off, plateau_len));
+  const double normal_plateau_min =
+      Min(data.series.Subsequence(plateau_off, plateau_len));
+  EXPECT_LT(glitch_plateau_min, normal_plateau_min - 0.3);
+}
+
+TEST(RespirationTest, AnomalyRegimeHasSmallerAmplitude) {
+  RespirationOptions opts;
+  opts.noise = 0.0;
+  LabeledSeries data = MakeRespiration(opts);
+  CheckLabeledSeries(data, opts.length);
+  ASSERT_EQ(data.anomalies.size(), 1u);
+  const Interval& a = data.anomalies[0];
+  const double anomaly_amp =
+      Max(data.series.Subsequence(a.start, a.length()));
+  const double normal_amp = Max(data.series.Subsequence(0, 500));
+  EXPECT_LT(anomaly_amp, normal_amp * 0.7);
+}
+
+TEST(TrajectoryTest, StructureAndGroundTruth) {
+  TrajectoryOptions opts;
+  TrajectoryData data = MakeTrajectory(opts);
+  CheckLabeledSeries(data.labeled, opts.num_trips * opts.samples_per_trip);
+  EXPECT_EQ(data.points.size(), data.labeled.series.size());
+  EXPECT_EQ(data.labeled.anomalies.size(), 2u);  // detour + fix loss
+  // Hilbert indices stay within the order-8 curve.
+  const double max_index = 256.0 * 256.0 - 1.0;
+  for (double v : data.labeled.series.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, max_index);
+  }
+}
+
+TEST(TrajectoryTest, DetourVisitsOtherwiseUnvisitedSpace) {
+  TrajectoryOptions opts;
+  TrajectoryData data = MakeTrajectory(opts);
+  const Interval detour = data.labeled.anomalies[0];
+  // Points in the detour's excursion reach y > 0.85; no regular trip does.
+  double max_y_outside = 0.0;
+  double max_y_inside = 0.0;
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    if (detour.Contains(i)) {
+      max_y_inside = std::max(max_y_inside, data.points[i].y);
+    } else if (!data.labeled.anomalies[1].Contains(i)) {
+      max_y_outside = std::max(max_y_outside, data.points[i].y);
+    }
+  }
+  EXPECT_GT(max_y_inside, 0.88);
+  EXPECT_LT(max_y_outside, 0.85);
+}
+
+TEST(SimpleTest, SineWithAnomalyIsFlatInAnomaly) {
+  LabeledSeries data = MakeSineWithAnomaly(1000, 50.0, 0.01, 500, 60, 1);
+  CheckLabeledSeries(data, 1000);
+  const double anomaly_amp = Max(data.series.Subsequence(505, 50));
+  EXPECT_LT(anomaly_amp, 0.2);
+  const double normal_amp = Max(data.series.Subsequence(0, 100));
+  EXPECT_GT(normal_amp, 0.8);
+}
+
+TEST(SimpleTest, GeneratorsAreDeterministic) {
+  EXPECT_EQ(MakeSine(100, 10.0, 0.5, 42), MakeSine(100, 10.0, 0.5, 42));
+  EXPECT_EQ(MakeRandomWalk(100, 1.0, 42), MakeRandomWalk(100, 1.0, 42));
+  EXPECT_EQ(MakeNoise(100, 1.0, 42), MakeNoise(100, 1.0, 42));
+  EXPECT_NE(MakeNoise(100, 1.0, 42), MakeNoise(100, 1.0, 43));
+}
+
+}  // namespace
+}  // namespace gva

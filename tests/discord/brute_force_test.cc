@@ -1,0 +1,99 @@
+#include "discord/brute_force.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/simple.h"
+#include "timeseries/sliding_window.h"
+
+namespace gva {
+namespace {
+
+TEST(BruteForceCallCountTest, MatchesDirectEnumeration) {
+  for (size_t m : {20u, 35u, 64u, 100u}) {
+    for (size_t n : {3u, 5u, 10u}) {
+      const size_t candidates = NumSlidingWindows(m, n);
+      uint64_t expected = 0;
+      for (size_t p = 0; p < candidates; ++p) {
+        for (size_t q = 0; q < candidates; ++q) {
+          if (!IsSelfMatch(p, q, n)) {
+            ++expected;
+          }
+        }
+      }
+      EXPECT_EQ(BruteForceCallCount(m, n), expected)
+          << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(BruteForceCallCountTest, DegenerateInputs) {
+  EXPECT_EQ(BruteForceCallCount(10, 0), 0u);
+  EXPECT_EQ(BruteForceCallCount(5, 10), 0u);
+  EXPECT_EQ(BruteForceCallCount(10, 10), 0u);  // one candidate, no non-self
+}
+
+TEST(BruteForceCallCountTest, PaperScaleMagnitude) {
+  // Daily-commute row of Table 1: length 17175, window 350 — the paper
+  // reports 271'442'101 calls. With |p-q| >= n self-match exclusion the
+  // count lands in the same ballpark (~2.7e8).
+  const uint64_t calls = BruteForceCallCount(17175, 350);
+  EXPECT_GT(calls, 250'000'000u);
+  EXPECT_LT(calls, 290'000'000u);
+}
+
+TEST(BruteForceTest, ActualSearchSpendsExactlyTheAnalyticCount) {
+  std::vector<double> series = MakeSine(150, 25.0, 0.1, 7);
+  auto result = FindDiscordsBruteForce(series, 20, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distance_calls, BruteForceCallCount(150, 20));
+}
+
+TEST(BruteForceTest, FindsPlantedAnomaly) {
+  LabeledSeries data = MakeSineWithAnomaly(600, 50.0, 0.02, 300, 50, 11);
+  auto result = FindDiscordsBruteForce(data.series, 50, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->discords.size(), 1u);
+  const DiscordRecord& d = result->discords[0];
+  // The discord window must overlap the planted flat segment.
+  EXPECT_TRUE(d.span().Overlaps(data.anomalies[0]))
+      << "discord at " << d.position;
+  EXPECT_GT(d.distance, 0.0);
+}
+
+TEST(BruteForceTest, TopKDiscordsDoNotOverlap) {
+  LabeledSeries data = MakeSineWithAnomaly(800, 40.0, 0.05, 400, 40, 23);
+  auto result = FindDiscordsBruteForce(data.series, 40, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->discords.size(), 3u);
+  for (size_t i = 0; i < result->discords.size(); ++i) {
+    for (size_t j = i + 1; j < result->discords.size(); ++j) {
+      EXPECT_FALSE(IsSelfMatch(result->discords[i].position,
+                               result->discords[j].position, 40));
+    }
+  }
+  // Ranked descending by distance.
+  for (size_t i = 1; i < result->discords.size(); ++i) {
+    EXPECT_GE(result->discords[i - 1].distance,
+              result->discords[i].distance);
+  }
+}
+
+TEST(BruteForceTest, NearestNeighborIsConsistent) {
+  std::vector<double> series = MakeSine(200, 20.0, 0.1, 31);
+  auto result = FindDiscordsBruteForce(series, 25, 1);
+  ASSERT_TRUE(result.ok());
+  const DiscordRecord& d = result->discords[0];
+  EXPECT_FALSE(IsSelfMatch(d.position, d.nn_position, d.length));
+}
+
+TEST(BruteForceTest, RejectsBadArguments) {
+  std::vector<double> series(30, 0.0);
+  EXPECT_FALSE(FindDiscordsBruteForce(series, 1, 1).ok());
+  EXPECT_FALSE(FindDiscordsBruteForce(series, 20, 1).ok());  // too short
+  EXPECT_FALSE(FindDiscordsBruteForce(series, 10, 0).ok());
+}
+
+}  // namespace
+}  // namespace gva

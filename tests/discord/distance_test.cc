@@ -1,0 +1,123 @@
+#include "discord/distance.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/simple.h"
+#include "timeseries/znorm.h"
+#include "util/rng.h"
+
+namespace gva {
+namespace {
+
+TEST(EuclideanDistanceTest, KnownValues) {
+  std::vector<double> a{0.0, 0.0};
+  std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(ZNormEuclideanTest, ScaleInvariant) {
+  std::vector<double> a{1.0, 2.0, 3.0, 2.0};
+  std::vector<double> b{10.0, 20.0, 30.0, 20.0};
+  EXPECT_NEAR(ZNormEuclideanDistance(a, b), 0.0, 1e-9);
+}
+
+TEST(SubsequenceDistanceTest, MatchesNaiveZnormDistance) {
+  std::vector<double> series = MakeSine(300, 37.0, 0.1, 9);
+  SubsequenceDistance dist(series);
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = 5 + rng.UniformInt(60);
+    const size_t p = rng.UniformInt(series.size() - len + 1);
+    const size_t q = rng.UniformInt(series.size() - len + 1);
+    const double fast = dist.Distance(p, q, len);
+    const double naive = ZNormEuclideanDistance(
+        std::span<const double>(series).subspan(p, len),
+        std::span<const double>(series).subspan(q, len));
+    EXPECT_NEAR(fast, naive, 1e-6) << "p=" << p << " q=" << q << " len=" << len;
+  }
+}
+
+TEST(SubsequenceDistanceTest, ZeroForIdenticalPositions) {
+  std::vector<double> series = MakeSine(100, 20.0, 0.0, 3);
+  SubsequenceDistance dist(series);
+  EXPECT_NEAR(dist.Distance(10, 10, 30), 0.0, 1e-9);
+}
+
+TEST(SubsequenceDistanceTest, CountsEveryCall) {
+  std::vector<double> series = MakeSine(100, 20.0, 0.1, 4);
+  SubsequenceDistance dist(series);
+  EXPECT_EQ(dist.calls(), 0u);
+  (void)dist.Distance(0, 50, 20);
+  (void)dist.Distance(1, 40, 20, 0.001);  // abandoned, still counted
+  EXPECT_EQ(dist.calls(), 2u);
+  dist.ResetCalls();
+  EXPECT_EQ(dist.calls(), 0u);
+}
+
+TEST(SubsequenceDistanceTest, EarlyAbandonReturnsInfinity) {
+  std::vector<double> series = MakeSine(200, 10.0, 0.2, 5);
+  SubsequenceDistance dist(series);
+  const double full = dist.Distance(0, 100, 50);
+  ASSERT_GT(full, 0.0);
+  // A limit below the true distance must abandon.
+  EXPECT_EQ(dist.Distance(0, 100, 50, full * 0.5),
+            SubsequenceDistance::kInfinity);
+  // A limit above the true distance must return the exact value.
+  EXPECT_NEAR(dist.Distance(0, 100, 50, full * 1.5), full, 1e-12);
+}
+
+TEST(SubsequenceDistanceTest, AbandonThresholdIsTight) {
+  std::vector<double> series = MakeSine(200, 10.0, 0.2, 6);
+  SubsequenceDistance dist(series);
+  const double full = dist.Distance(3, 120, 40);
+  // Limit exactly equal to the distance: the running sum reaches the limit
+  // only at the very end; equality abandons (>=), which is safe because a
+  // caller never needs a distance equal to its current nearest neighbor.
+  EXPECT_EQ(dist.Distance(3, 120, 40, full),
+            SubsequenceDistance::kInfinity);
+}
+
+TEST(SubsequenceDistanceTest, FlatWindowsUseCenteringOnly) {
+  std::vector<double> series(100, 2.0);
+  for (size_t i = 50; i < 100; ++i) {
+    series[i] = 5.0;  // another flat level
+  }
+  SubsequenceDistance dist(series);
+  // Both windows are flat; centered they are identical.
+  EXPECT_NEAR(dist.Distance(0, 55, 20), 0.0, 1e-12);
+}
+
+TEST(SubsequenceDistanceTest, SymmetricInArguments) {
+  std::vector<double> series = MakeRandomWalk(400, 1.0, 12);
+  SubsequenceDistance dist(series);
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t len = 10 + rng.UniformInt(40);
+    const size_t p = rng.UniformInt(series.size() - len + 1);
+    const size_t q = rng.UniformInt(series.size() - len + 1);
+    EXPECT_NEAR(dist.Distance(p, q, len), dist.Distance(q, p, len), 1e-9);
+  }
+}
+
+TEST(SubsequenceDistanceTest, TriangleInequalityHolds) {
+  std::vector<double> series = MakeRandomWalk(300, 1.0, 13);
+  SubsequenceDistance dist(series);
+  Rng rng(31);
+  const size_t len = 25;
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t a = rng.UniformInt(series.size() - len + 1);
+    const size_t b = rng.UniformInt(series.size() - len + 1);
+    const size_t c = rng.UniformInt(series.size() - len + 1);
+    const double ab = dist.Distance(a, b, len);
+    const double bc = dist.Distance(b, c, len);
+    const double ac = dist.Distance(a, c, len);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gva

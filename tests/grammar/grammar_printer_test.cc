@@ -1,0 +1,51 @@
+#include "grammar/grammar_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace gva {
+namespace {
+
+WordGrammar PaperGrammar() {
+  auto wg = InferGrammarFromWords(
+      {"abc", "abc", "cba", "xxx", "abc", "abc", "cba"});
+  EXPECT_TRUE(wg.ok());
+  return std::move(wg).value();
+}
+
+TEST(GrammarPrinterTest, RhsRendersTerminalsAndNonTerminals) {
+  WordGrammar wg = PaperGrammar();
+  const std::string r0 = RuleRhsToString(wg, 0);
+  EXPECT_NE(r0.find("xxx"), std::string::npos);
+  EXPECT_NE(r0.find("R"), std::string::npos);
+}
+
+TEST(GrammarPrinterTest, ExpansionReconstructsWords) {
+  WordGrammar wg = PaperGrammar();
+  EXPECT_EQ(RuleExpansionToString(wg, 0),
+            "abc abc cba xxx abc abc cba");
+}
+
+TEST(GrammarPrinterTest, GrammarToStringListsEveryRule) {
+  WordGrammar wg = PaperGrammar();
+  const std::string text = GrammarToString(wg);
+  for (size_t i = 0; i < wg.grammar.size(); ++i) {
+    EXPECT_NE(text.find("R" + std::to_string(i) + " ->"), std::string::npos);
+  }
+}
+
+TEST(GrammarPrinterTest, VerboseIncludesUseCounts) {
+  WordGrammar wg = PaperGrammar();
+  const std::string text = GrammarToString(wg, /*verbose=*/true);
+  EXPECT_NE(text.find("use="), std::string::npos);
+  EXPECT_NE(text.find("tokens="), std::string::npos);
+}
+
+TEST(GrammarPrinterTest, SingleRuleGrammar) {
+  auto wg = InferGrammarFromWords({"a", "b", "c"});
+  ASSERT_TRUE(wg.ok());
+  EXPECT_EQ(RuleRhsToString(*wg, 0), "a b c");
+  EXPECT_EQ(RuleExpansionToString(*wg, 0), "a b c");
+}
+
+}  // namespace
+}  // namespace gva

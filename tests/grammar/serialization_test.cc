@@ -1,0 +1,101 @@
+#include "grammar/serialization.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gva {
+namespace {
+
+WordGrammar Demo() {
+  auto wg = InferGrammarFromWords(
+      {"abc", "abc", "cba", "xxx", "abc", "abc", "cba"});
+  EXPECT_TRUE(wg.ok());
+  return std::move(wg).value();
+}
+
+void ExpectEqualGrammars(const WordGrammar& a, const WordGrammar& b) {
+  EXPECT_EQ(a.vocabulary, b.vocabulary);
+  EXPECT_EQ(a.tokens, b.tokens);
+  ASSERT_EQ(a.grammar.size(), b.grammar.size());
+  EXPECT_EQ(a.grammar.num_tokens(), b.grammar.num_tokens());
+  for (size_t r = 0; r < a.grammar.size(); ++r) {
+    EXPECT_EQ(a.grammar.rule(r).rhs, b.grammar.rule(r).rhs) << "R" << r;
+    EXPECT_EQ(a.grammar.rule(r).use_count, b.grammar.rule(r).use_count);
+    EXPECT_EQ(a.grammar.rule(r).occurrences, b.grammar.rule(r).occurrences);
+    EXPECT_EQ(a.grammar.rule(r).expansion_tokens,
+              b.grammar.rule(r).expansion_tokens);
+  }
+}
+
+TEST(GrammarSerializationTest, RoundTrip) {
+  WordGrammar original = Demo();
+  auto restored = DeserializeGrammar(SerializeGrammar(original));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ExpectEqualGrammars(original, *restored);
+}
+
+TEST(GrammarSerializationTest, RoundTripRandomGrammars) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::string> words;
+    for (int i = 0; i < 200; ++i) {
+      words.push_back("w" + std::to_string(rng.UniformInt(6)));
+    }
+    auto wg = InferGrammarFromWords(words);
+    ASSERT_TRUE(wg.ok());
+    auto restored = DeserializeGrammar(SerializeGrammar(*wg));
+    ASSERT_TRUE(restored.ok()) << trial;
+    ExpectEqualGrammars(*wg, *restored);
+  }
+}
+
+TEST(GrammarSerializationTest, FormatIsHumanReadable) {
+  const std::string text = SerializeGrammar(Demo());
+  EXPECT_NE(text.find("gva-grammar 1"), std::string::npos);
+  EXPECT_NE(text.find("w abc"), std::string::npos);
+  EXPECT_NE(text.find("rule 0"), std::string::npos);
+}
+
+TEST(GrammarSerializationTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(DeserializeGrammar("").ok());
+  EXPECT_FALSE(DeserializeGrammar("not a grammar\n").ok());
+  // Missing rules.
+  EXPECT_FALSE(
+      DeserializeGrammar("gva-grammar 1\ntokens 0\nvocab 0\n").ok());
+  // Out-of-range rule reference.
+  EXPECT_FALSE(DeserializeGrammar("gva-grammar 1\ntokens 1\nvocab 1\n"
+                                  "w a\nrule 0 0 : R7\n")
+                   .ok());
+  // Out-of-range terminal.
+  EXPECT_FALSE(DeserializeGrammar("gva-grammar 1\ntokens 1\nvocab 1\n"
+                                  "w a\nrule 0 0 : t9\n")
+                   .ok());
+  // Token-count mismatch.
+  EXPECT_FALSE(DeserializeGrammar("gva-grammar 1\ntokens 5\nvocab 1\n"
+                                  "w a\nrule 0 0 : t0 t0\n")
+                   .ok());
+  // Rule cycle.
+  EXPECT_FALSE(DeserializeGrammar("gva-grammar 1\ntokens 0\nvocab 0\n"
+                                  "rule 0 0 : R1\nrule 1 2 : R1\n")
+                   .ok());
+}
+
+TEST(GrammarSerializationTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gva_grammar_test.txt";
+  WordGrammar original = Demo();
+  ASSERT_TRUE(WriteGrammarFile(path, original).ok());
+  auto restored = ReadGrammarFile(path);
+  ASSERT_TRUE(restored.ok());
+  ExpectEqualGrammars(original, *restored);
+  std::remove(path.c_str());
+}
+
+TEST(GrammarSerializationTest, MissingFileFails) {
+  EXPECT_FALSE(ReadGrammarFile("/no/such/grammar.txt").ok());
+}
+
+}  // namespace
+}  // namespace gva

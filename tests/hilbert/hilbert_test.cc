@@ -1,0 +1,125 @@
+#include "hilbert/hilbert.h"
+
+#include <cstdlib>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gva {
+namespace {
+
+TEST(HilbertTest, FirstOrderCurveMatchesFigure6) {
+  // Figure 6 left panel: a 2x2 grid visited 0 -> 1 -> 2 -> 3 in a U shape.
+  HilbertCurve curve(1);
+  EXPECT_EQ(curve.side(), 2u);
+  EXPECT_EQ(curve.num_cells(), 4u);
+  EXPECT_EQ(curve.XyToIndex(0, 0), 0u);
+  EXPECT_EQ(curve.XyToIndex(0, 1), 1u);
+  EXPECT_EQ(curve.XyToIndex(1, 1), 2u);
+  EXPECT_EQ(curve.XyToIndex(1, 0), 3u);
+}
+
+class HilbertOrderTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HilbertOrderTest, BijectionOverEveryCell) {
+  HilbertCurve curve(GetParam());
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < curve.side(); ++x) {
+    for (uint64_t y = 0; y < curve.side(); ++y) {
+      const uint64_t d = curve.XyToIndex(x, y);
+      EXPECT_LT(d, curve.num_cells());
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate index " << d;
+      uint64_t rx = 0;
+      uint64_t ry = 0;
+      curve.IndexToXy(d, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), curve.num_cells());
+}
+
+TEST_P(HilbertOrderTest, ConsecutiveIndicesAreEdgeAdjacent) {
+  // The locality property the paper relies on: consecutive visit order
+  // cells always share an edge.
+  HilbertCurve curve(GetParam());
+  uint64_t px = 0;
+  uint64_t py = 0;
+  curve.IndexToXy(0, &px, &py);
+  for (uint64_t d = 1; d < curve.num_cells(); ++d) {
+    uint64_t x = 0;
+    uint64_t y = 0;
+    curve.IndexToXy(d, &x, &y);
+    const uint64_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "order " << GetParam() << " index " << d;
+    px = x;
+    py = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertOrderTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(HilbertTest, HighOrderRoundTripSamples) {
+  HilbertCurve curve(16);
+  for (uint64_t d :
+       {uint64_t{0}, uint64_t{1}, uint64_t{12345678}, curve.num_cells() - 1}) {
+    uint64_t x = 0;
+    uint64_t y = 0;
+    curve.IndexToXy(d, &x, &y);
+    EXPECT_EQ(curve.XyToIndex(x, y), d);
+  }
+}
+
+TEST(HilbertDeathTest, RejectsOutOfRange) {
+  HilbertCurve curve(2);
+  EXPECT_DEATH((void)curve.XyToIndex(4, 0), "outside");
+  uint64_t x = 0;
+  uint64_t y = 0;
+  EXPECT_DEATH(curve.IndexToXy(16, &x, &y), "outside");
+  EXPECT_DEATH(HilbertCurve bad(0), "order");
+  EXPECT_DEATH(HilbertCurve bad(17), "order");
+}
+
+TEST(TrajectoryToSeriesTest, MapsCornersOfBoundingBox) {
+  HilbertCurve curve(3);
+  std::vector<GeoPoint> points{{0.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}};
+  auto series = TrajectoryToHilbertSeries(points, curve, 0, 10, 0, 10);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 3u);
+  EXPECT_DOUBLE_EQ((*series)[0],
+                   static_cast<double>(curve.XyToIndex(0, 0)));
+  EXPECT_DOUBLE_EQ((*series)[1],
+                   static_cast<double>(curve.XyToIndex(7, 7)));
+  EXPECT_DOUBLE_EQ((*series)[2],
+                   static_cast<double>(curve.XyToIndex(0, 7)));
+}
+
+TEST(TrajectoryToSeriesTest, RejectsBadBoxAndOutliers) {
+  HilbertCurve curve(3);
+  std::vector<GeoPoint> points{{0.5, 0.5}};
+  EXPECT_FALSE(TrajectoryToHilbertSeries(points, curve, 0, 0, 0, 1).ok());
+  EXPECT_FALSE(
+      TrajectoryToHilbertSeries({{2.0, 0.5}}, curve, 0, 1, 0, 1).ok());
+}
+
+TEST(TrajectoryToSeriesTest, NearbyPointsGetNearbyIndicesMostly) {
+  // Statistical locality: a short step in space should usually be a small
+  // step in Hilbert index. (Not always — the curve has long jumps — but the
+  // median must be small.)
+  HilbertCurve curve(8);
+  std::vector<double> jumps;
+  for (int i = 0; i < 200; ++i) {
+    const double t = i / 200.0;
+    auto s = TrajectoryToHilbertSeries(
+        {{t, 0.5}, {t + 0.004, 0.5}}, curve, 0, 1.01, 0, 1.01);
+    ASSERT_TRUE(s.ok());
+    jumps.push_back(std::abs((*s)[1] - (*s)[0]));
+  }
+  std::sort(jumps.begin(), jumps.end());
+  EXPECT_LT(jumps[jumps.size() / 2], 16.0);
+}
+
+}  // namespace
+}  // namespace gva

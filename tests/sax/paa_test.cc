@@ -1,0 +1,99 @@
+#include "sax/paa.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace gva {
+namespace {
+
+TEST(PaaTest, EvenDivisionIsPlainMeans) {
+  std::vector<double> v{1, 1, 2, 2, 3, 3, 4, 4};
+  std::vector<double> out = Paa(v, 4);
+  EXPECT_EQ(out, (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(PaaTest, SingleSegmentIsGlobalMean) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  std::vector<double> out = Paa(v, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+}
+
+TEST(PaaTest, IdentityWhenSegmentsEqualLength) {
+  std::vector<double> v{3.5, -1.0, 2.0};
+  EXPECT_EQ(Paa(v, 3), v);
+}
+
+TEST(PaaTest, FractionalBoundariesExact) {
+  // 3 points -> 2 segments: segment 0 covers [0, 1.5) = v0 + half of v1,
+  // segment 1 covers [1.5, 3) = half of v1 + v2.
+  std::vector<double> v{0.0, 2.0, 4.0};
+  std::vector<double> out = Paa(v, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], (0.0 + 1.0) / 1.5);
+  EXPECT_DOUBLE_EQ(out[1], (1.0 + 4.0) / 1.5);
+}
+
+TEST(PaaTest, UpsamplingRepeatsValuesFractionally) {
+  // 2 points -> 4 segments: each input value covers two segments.
+  std::vector<double> v{1.0, 3.0};
+  std::vector<double> out = Paa(v, 4);
+  EXPECT_EQ(out, (std::vector<double>{1.0, 1.0, 3.0, 3.0}));
+}
+
+TEST(PaaTest, EmptyInputYieldsZeros) {
+  std::vector<double> out = Paa(std::vector<double>{}, 3);
+  EXPECT_EQ(out, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(PaaTest, ConstantSignalStaysConstant) {
+  std::vector<double> v(17, 2.5);
+  for (size_t w : {1u, 2u, 3u, 5u, 16u, 17u}) {
+    for (double s : Paa(v, w)) {
+      EXPECT_DOUBLE_EQ(s, 2.5);
+    }
+  }
+}
+
+// Property: the weighted mean of PAA segments equals the input mean for any
+// length/segment combination (total mass is preserved).
+class PaaMassPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(PaaMassPropertyTest, SegmentMeanEqualsInputMean) {
+  const auto [n, w] = GetParam();
+  Rng rng(n * 1000 + w);
+  std::vector<double> v;
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(rng.Gaussian());
+  }
+  std::vector<double> out = Paa(v, w);
+  ASSERT_EQ(out.size(), w);
+  // Every segment has equal real-valued width n/w, so the plain mean of the
+  // segment means equals the input mean.
+  EXPECT_NEAR(Mean(out), Mean(v), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PaaMassPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(5, 7, 12, 30, 100, 128, 777),
+                       ::testing::Values<size_t>(1, 2, 3, 4, 5, 9, 20)));
+
+// Property: PAA of a linear ramp is increasing.
+TEST(PaaTest, MonotonePreservedOnRamp) {
+  std::vector<double> v;
+  for (int i = 0; i < 103; ++i) {
+    v.push_back(0.37 * i);
+  }
+  std::vector<double> out = Paa(v, 9);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GT(out[i], out[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace gva

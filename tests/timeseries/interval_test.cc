@@ -1,0 +1,101 @@
+#include "timeseries/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "timeseries/sliding_window.h"
+#include "timeseries/time_series.h"
+
+namespace gva {
+namespace {
+
+TEST(IntervalTest, LengthAndEmpty) {
+  EXPECT_EQ((Interval{3, 7}).length(), 4u);
+  EXPECT_TRUE((Interval{3, 3}).empty());
+  EXPECT_TRUE((Interval{5, 3}).empty());
+  EXPECT_EQ((Interval{5, 3}).length(), 0u);
+}
+
+TEST(IntervalTest, Contains) {
+  Interval i{2, 5};
+  EXPECT_FALSE(i.Contains(1));
+  EXPECT_TRUE(i.Contains(2));
+  EXPECT_TRUE(i.Contains(4));
+  EXPECT_FALSE(i.Contains(5));  // half-open
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE((Interval{0, 5}).Overlaps({4, 8}));
+  EXPECT_TRUE((Interval{4, 8}).Overlaps({0, 5}));
+  EXPECT_FALSE((Interval{0, 5}).Overlaps({5, 8}));  // touching is disjoint
+  EXPECT_TRUE((Interval{0, 10}).Overlaps({3, 4}));  // containment
+  EXPECT_FALSE((Interval{3, 3}).Overlaps({0, 10}));  // empty never overlaps
+}
+
+TEST(IntervalTest, OverlapLength) {
+  EXPECT_EQ((Interval{0, 5}).OverlapLength({3, 9}), 2u);
+  EXPECT_EQ((Interval{0, 5}).OverlapLength({5, 9}), 0u);
+  EXPECT_EQ((Interval{2, 8}).OverlapLength({4, 6}), 2u);
+  EXPECT_EQ((Interval{0, 5}).OverlapLength({0, 5}), 5u);
+}
+
+TEST(IntervalTest, Jaccard) {
+  EXPECT_DOUBLE_EQ((Interval{0, 4}).Jaccard({0, 4}), 1.0);
+  EXPECT_DOUBLE_EQ((Interval{0, 4}).Jaccard({4, 8}), 0.0);
+  EXPECT_DOUBLE_EQ((Interval{0, 4}).Jaccard({2, 6}), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ((Interval{0, 0}).Jaccard({0, 0}), 0.0);
+}
+
+TEST(SlidingWindowTest, NumWindows) {
+  EXPECT_EQ(NumSlidingWindows(10, 3), 8u);
+  EXPECT_EQ(NumSlidingWindows(10, 10), 1u);
+  EXPECT_EQ(NumSlidingWindows(9, 10), 0u);
+}
+
+TEST(SlidingWindowTest, WindowAtViewsCorrectRange) {
+  std::vector<double> v{0, 1, 2, 3, 4, 5};
+  auto w = WindowAt(v, 2, 3);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[2], 4.0);
+}
+
+TEST(SlidingWindowTest, SelfMatchDefinition) {
+  // Non-self match requires |p - q| >= n (paper Section 2).
+  EXPECT_TRUE(IsSelfMatch(10, 10, 5));
+  EXPECT_TRUE(IsSelfMatch(10, 14, 5));
+  EXPECT_TRUE(IsSelfMatch(14, 10, 5));
+  EXPECT_FALSE(IsSelfMatch(10, 15, 5));
+  EXPECT_FALSE(IsSelfMatch(15, 10, 5));
+}
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries ts({1.0, 2.0, 3.0}, "demo");
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_FALSE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts[1], 2.0);
+  EXPECT_EQ(ts.name(), "demo");
+  ts[1] = 9.0;
+  EXPECT_DOUBLE_EQ(ts.values()[1], 9.0);
+}
+
+TEST(TimeSeriesTest, SubsequenceView) {
+  TimeSeries ts({0.0, 1.0, 2.0, 3.0, 4.0});
+  auto sub = ts.Subsequence(1, 3);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub[0], 1.0);
+  EXPECT_DOUBLE_EQ(sub[2], 3.0);
+}
+
+TEST(TimeSeriesDeathTest, SubsequenceOutOfRange) {
+  TimeSeries ts({0.0, 1.0, 2.0});
+  EXPECT_DEATH((void)ts.Subsequence(2, 2), "out of range");
+}
+
+TEST(TimeSeriesTest, ImplicitSpanConversion) {
+  TimeSeries ts({1.0, 2.0});
+  std::span<const double> view = ts;
+  EXPECT_EQ(view.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gva

@@ -1,0 +1,31 @@
+#include "timeseries/io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "datasets/simple.h"
+
+namespace gva {
+namespace {
+
+TEST(TimeSeriesIoTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gva_io_test.csv";
+  TimeSeries original(MakeSine(200, 25.0, 0.1, 5), "sine");
+  ASSERT_TRUE(WriteTimeSeriesCsv(path, original).ok());
+  auto loaded = ReadTimeSeriesCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*loaded)[i], original[i]);
+  }
+  EXPECT_EQ(loaded->name(), path);
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadTimeSeriesCsv("/no/such/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace gva

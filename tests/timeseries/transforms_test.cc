@@ -1,0 +1,117 @@
+#include "timeseries/transforms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/simple.h"
+#include "timeseries/stats.h"
+
+namespace gva {
+namespace {
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  auto out = MovingAverage(v, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, v);
+}
+
+TEST(MovingAverageTest, SmoothsInterior) {
+  std::vector<double> v{0.0, 0.0, 3.0, 0.0, 0.0};
+  auto out = MovingAverage(v, 3);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[2], 1.0);
+  EXPECT_DOUBLE_EQ((*out)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*out)[0], 0.0);  // edge uses available samples
+}
+
+TEST(MovingAverageTest, EdgesUsePartialWindows) {
+  std::vector<double> v{2.0, 4.0};
+  auto out = MovingAverage(v, 3);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*out)[1], 3.0);
+}
+
+TEST(MovingAverageTest, RejectsEvenOrZeroWindow) {
+  std::vector<double> v{1.0};
+  EXPECT_FALSE(MovingAverage(v, 0).ok());
+  EXPECT_FALSE(MovingAverage(v, 2).ok());
+}
+
+TEST(MovingAverageTest, ReducesNoiseVariance) {
+  std::vector<double> noisy = MakeNoise(5000, 1.0, 9);
+  auto smoothed = MovingAverage(noisy, 9);
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_LT(Variance(*smoothed), Variance(noisy) / 4.0);
+}
+
+TEST(DownsampleTest, KeepsEveryKth) {
+  std::vector<double> v{0, 1, 2, 3, 4, 5, 6};
+  auto out = Downsample(v, 3);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (std::vector<double>{0, 3, 6}));
+}
+
+TEST(DownsampleTest, FactorOneIsIdentity) {
+  std::vector<double> v{1, 2, 3};
+  auto out = Downsample(v, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, v);
+}
+
+TEST(DownsampleTest, RejectsZeroFactor) {
+  std::vector<double> v{1.0};
+  EXPECT_FALSE(Downsample(v, 0).ok());
+}
+
+TEST(DetrendTest, RemovesExactLinearTrend) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(3.0 + 0.5 * i);
+  }
+  std::vector<double> out = Detrend(v);
+  for (double x : out) {
+    EXPECT_NEAR(x, 0.0, 1e-9);
+  }
+}
+
+TEST(DetrendTest, PreservesResidualShape) {
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) {
+    v.push_back(0.02 * i + std::sin(0.2 * i));
+  }
+  std::vector<double> out = Detrend(v);
+  // The sine survives: amplitude close to 1.
+  EXPECT_GT(Max(out), 0.8);
+  EXPECT_LT(Min(out), -0.8);
+  EXPECT_NEAR(Mean(out), 0.0, 1e-9);
+}
+
+TEST(DetrendTest, TinyInputsPassThrough) {
+  EXPECT_TRUE(Detrend(std::vector<double>{}).empty());
+  EXPECT_EQ(Detrend(std::vector<double>{5.0}),
+            (std::vector<double>{5.0}));
+}
+
+TEST(DifferenceTest, Basics) {
+  std::vector<double> v{1.0, 4.0, 2.0};
+  EXPECT_EQ(Difference(v), (std::vector<double>{3.0, -2.0}));
+  EXPECT_TRUE(Difference(std::vector<double>{7.0}).empty());
+}
+
+TEST(DifferenceTest, ConstantBecomesZero) {
+  std::vector<double> v(10, 3.0);
+  for (double d : Difference(v)) {
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+}
+
+TEST(ClampTest, Basics) {
+  std::vector<double> v{-5.0, 0.5, 5.0};
+  EXPECT_EQ(Clamp(v, -1.0, 1.0), (std::vector<double>{-1.0, 0.5, 1.0}));
+}
+
+}  // namespace
+}  // namespace gva

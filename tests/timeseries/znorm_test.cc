@@ -1,0 +1,85 @@
+#include "timeseries/znorm.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace gva {
+namespace {
+
+TEST(ZNormTest, ProducesZeroMeanUnitVariance) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0, 100.0};
+  std::vector<double> z = ZNormalized(v);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(z), 1.0, 1e-12);
+}
+
+TEST(ZNormTest, PreservesShape) {
+  std::vector<double> v{0.0, 1.0, 0.0, -1.0};
+  std::vector<double> z = ZNormalized(v);
+  // Monotone ordering preserved.
+  EXPECT_GT(z[1], z[0]);
+  EXPECT_GT(z[0], z[3]);
+  EXPECT_DOUBLE_EQ(z[0], z[2]);
+}
+
+TEST(ZNormTest, FlatWindowOnlyCentered) {
+  std::vector<double> v(50, 42.0);
+  std::vector<double> z = ZNormalized(v);
+  for (double value : z) {
+    EXPECT_DOUBLE_EQ(value, 0.0);
+  }
+}
+
+TEST(ZNormTest, NearFlatWindowUsesEpsilonGuard) {
+  // Stddev ~ 0.005 < default epsilon 0.01: mean-centering only, so values
+  // stay tiny instead of exploding to +/- 1.
+  std::vector<double> v{1.0, 1.0 + 0.01, 1.0, 1.0 - 0.01};
+  std::vector<double> z = ZNormalized(v);
+  for (double value : z) {
+    EXPECT_LT(std::abs(value), 0.02);
+  }
+}
+
+TEST(ZNormTest, EpsilonZeroAlwaysDivides) {
+  std::vector<double> v{1.0, 1.001, 0.999, 1.0};
+  std::vector<double> z = ZNormalized(v, 0.0);
+  EXPECT_NEAR(StdDev(z), 1.0, 1e-9);
+}
+
+TEST(ZNormTest, EmptyInput) {
+  std::vector<double> z = ZNormalized(std::vector<double>{});
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(ZNormTest, OutParameterOverloadResizes) {
+  std::vector<double> out(3, 99.0);
+  std::vector<double> v{5.0, 7.0};
+  ZNormalize(v, out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0], -1.0, 1e-12);
+  EXPECT_NEAR(out[1], 1.0, 1e-12);
+}
+
+TEST(ZNormTest, InvariantToAffineTransform) {
+  Rng rng(77);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) {
+    v.push_back(rng.Gaussian());
+  }
+  std::vector<double> scaled;
+  for (double x : v) {
+    scaled.push_back(3.5 * x + 11.0);
+  }
+  std::vector<double> za = ZNormalized(v);
+  std::vector<double> zb = ZNormalized(scaled);
+  for (size_t i = 0; i < za.size(); ++i) {
+    EXPECT_NEAR(za[i], zb[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gva

@@ -1,0 +1,62 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace gva {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  GVA_CHECK(true);
+  GVA_CHECK(1 + 1 == 2) << "never evaluated";
+  GVA_CHECK_EQ(3, 3);
+  GVA_CHECK_NE(3, 4);
+  GVA_CHECK_LT(3, 4);
+  GVA_CHECK_LE(3, 3);
+  GVA_CHECK_GT(4, 3);
+  GVA_CHECK_GE(4, 4);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(GVA_CHECK(false), "GVA_CHECK failure");
+  EXPECT_DEATH(GVA_CHECK_EQ(1, 2), "GVA_CHECK failure");
+}
+
+TEST(CheckDeathTest, StreamedContextAppears) {
+  int x = -5;
+  EXPECT_DEATH(GVA_CHECK(x >= 0) << "x was " << x, "x was -5");
+}
+
+TEST(CheckDeathTest, ConditionTextAppears) {
+  EXPECT_DEATH(GVA_CHECK(2 + 2 == 5), "2 \\+ 2 == 5");
+}
+
+TEST(CheckTest, WorksInsideIfWithoutBraces) {
+  // The switch/case expansion must not steal the else branch.
+  bool reached_else = false;
+  if (false)
+    GVA_CHECK(true);
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+TEST(CheckTest, DcheckCompilesInBothModes) {
+  GVA_DCHECK(true);
+#ifdef NDEBUG
+  // Compiled out: must not evaluate side effects... but stays type-checked.
+  GVA_DCHECK(1 < 2);
+#endif
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  auto condition = [&]() {
+    ++evaluations;
+    return true;
+  };
+  GVA_CHECK(condition());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace gva

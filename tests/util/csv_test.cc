@@ -1,0 +1,114 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace gva {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/gva_csv_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& contents) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, ParseDoubleAcceptsCommonForms) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -2 "), -2.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3"), 0.001);
+}
+
+TEST_F(CsvTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.2x").ok());
+}
+
+TEST_F(CsvTest, ReadsSingleColumn) {
+  WriteFile("1.0\n2.5\n-3\n");
+  auto values = ReadCsvColumn(path_);
+  ASSERT_TRUE(values.ok()) << values.status();
+  EXPECT_EQ(*values, (std::vector<double>{1.0, 2.5, -3.0}));
+}
+
+TEST_F(CsvTest, SkipsBlankAndCommentLines) {
+  WriteFile("# header comment\n1\n\n2\n   \n3\n");
+  auto values = ReadCsvColumn(path_);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST_F(CsvTest, ToleratesHeaderRow) {
+  WriteFile("value\n1\n2\n");
+  auto values = ReadCsvColumn(path_);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(CsvTest, ReadsRequestedColumn) {
+  WriteFile("t,v\n0,10\n1,20\n2,30\n");
+  auto values = ReadCsvColumn(path_, 1);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST_F(CsvTest, FailsOnMissingColumn) {
+  WriteFile("1,2\n3\n");
+  auto values = ReadCsvColumn(path_, 1);
+  EXPECT_FALSE(values.ok());
+  EXPECT_EQ(values.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, FailsOnMalformedDataLine) {
+  WriteFile("1\nnot_a_number\n3\n");
+  auto values = ReadCsvColumn(path_);
+  EXPECT_FALSE(values.ok());
+}
+
+TEST_F(CsvTest, FailsOnMissingFile) {
+  auto values = ReadCsvColumn("/nonexistent/path/file.csv");
+  EXPECT_FALSE(values.ok());
+  EXPECT_EQ(values.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, WriteReadRoundTrip) {
+  std::vector<double> values{1.5, -2.25, 1e-6, 123456.789};
+  ASSERT_TRUE(WriteCsvColumn(path_, values, "v").ok());
+  auto back = ReadCsvColumn(path_);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*back)[i], values[i]);
+  }
+}
+
+TEST_F(CsvTest, WritesMultipleColumns) {
+  ASSERT_TRUE(
+      WriteCsvColumns(path_, {"a", "b"}, {{1.0, 2.0}, {3.0, 4.0}}).ok());
+  auto a = ReadCsvColumn(path_, 0);
+  auto b = ReadCsvColumn(path_, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(*b, (std::vector<double>{3.0, 4.0}));
+}
+
+TEST_F(CsvTest, RejectsMismatchedColumns) {
+  EXPECT_FALSE(WriteCsvColumns(path_, {"a"}, {{1.0}, {2.0}}).ok());
+  EXPECT_FALSE(WriteCsvColumns(path_, {"a", "b"}, {{1.0}, {2.0, 3.0}}).ok());
+}
+
+}  // namespace
+}  // namespace gva

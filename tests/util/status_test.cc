@@ -1,0 +1,116 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace gva {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::InvalidArgument("window too small");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: window too small");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int x) {
+  GVA_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello world");
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "hello world");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return Status::InvalidArgument("non-positive");
+  }
+  return x * 2;
+}
+
+StatusOr<int> UsesAssignOrReturn(int x) {
+  int doubled = 0;
+  GVA_ASSIGN_OR_RETURN(doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  StatusOr<int> good = UsesAssignOrReturn(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 11);
+  StatusOr<int> bad = UsesAssignOrReturn(0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_DEATH({ (void)*v; }, "boom");
+}
+
+}  // namespace
+}  // namespace gva

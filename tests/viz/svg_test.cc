@@ -1,0 +1,107 @@
+#include "viz/svg.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datasets/simple.h"
+
+namespace gva {
+namespace {
+
+TEST(SvgTest, EmptyFigureIsValidSvg) {
+  SvgFigure figure("empty");
+  const std::string svg = figure.ToSvg();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("empty"), std::string::npos);
+}
+
+TEST(SvgTest, SeriesPanelContainsPolylineAndHighlight) {
+  SvgFigure figure("demo");
+  std::vector<double> values = MakeSine(500, 50.0, 0.05, 1);
+  figure.AddSeriesPanel("series", values, {Interval{100, 150}});
+  EXPECT_EQ(figure.panels(), 1u);
+  const std::string svg = figure.ToSvg();
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("series"), std::string::npos);
+}
+
+TEST(SvgTest, DensityPanelContainsPolygon) {
+  SvgFigure figure("demo");
+  std::vector<uint32_t> density(300, 5);
+  density[150] = 0;
+  figure.AddDensityPanel("density", density);
+  EXPECT_NE(figure.ToSvg().find("<polygon"), std::string::npos);
+}
+
+TEST(SvgTest, StemPanelDrawsLines) {
+  SvgFigure figure("demo");
+  figure.AddStemPanel("nn", {10, 50, 90}, {1.0, 2.5, 0.5}, 100);
+  const std::string svg = figure.ToSvg();
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+}
+
+TEST(SvgTest, StemPanelSkipsNonFinite) {
+  SvgFigure figure("demo");
+  figure.AddStemPanel(
+      "nn", {10, 50},
+      {std::numeric_limits<double>::infinity(), 1.0}, 100);
+  const std::string svg = figure.ToSvg();
+  // Exactly one stem line (plus no inf coordinates anywhere).
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+TEST(SvgTest, MismatchedStemInputsYieldEmptyPanel) {
+  SvgFigure figure("demo");
+  figure.AddStemPanel("nn", {1, 2, 3}, {1.0}, 100);
+  EXPECT_EQ(figure.panels(), 1u);
+  EXPECT_EQ(figure.ToSvg().find("<line"), std::string::npos);
+}
+
+TEST(SvgTest, FlatSeriesDoesNotDivideByZero) {
+  SvgFigure figure("demo");
+  std::vector<double> flat(100, 3.0);
+  figure.AddSeriesPanel("flat", flat);
+  const std::string svg = figure.ToSvg();
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+TEST(SvgTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gva_svg_test.svg";
+  SvgFigure figure("file test");
+  figure.AddSeriesPanel("s", MakeSine(200, 25.0, 0.0, 2));
+  ASSERT_TRUE(figure.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, figure.ToSvg());
+  std::remove(path.c_str());
+}
+
+TEST(SvgTest, WriteFileToBadPathFails) {
+  SvgFigure figure("x");
+  EXPECT_FALSE(figure.WriteFile("/nonexistent/dir/f.svg").ok());
+}
+
+TEST(SvgTest, LongSeriesIsDecimated) {
+  // 200k points must not produce 200k polyline vertices.
+  SvgFigure figure("big", 960);
+  std::vector<double> values = MakeSine(200000, 500.0, 0.0, 3);
+  figure.AddSeriesPanel("s", values);
+  const std::string svg = figure.ToSvg();
+  size_t commas = 0;
+  for (char c : svg) {
+    if (c == ',') {
+      ++commas;
+    }
+  }
+  EXPECT_LT(commas, 10000u);
+}
+
+}  // namespace
+}  // namespace gva

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "datasets/simple.h"
+#include "viz/ascii_plot.h"
+#include "viz/report.h"
+
+namespace gva {
+namespace {
+
+TEST(AsciiPlotTest, DimensionsMatchOptions) {
+  std::vector<double> v = MakeSine(500, 50.0, 0.0, 1);
+  AsciiPlotOptions opts;
+  opts.width = 60;
+  opts.height = 8;
+  std::string chart = RenderSeries(v, {}, opts);
+  // height rows + separator + marker row, each 60 chars + newline.
+  size_t lines = 0;
+  for (char c : chart) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, opts.height + 2);
+  EXPECT_EQ(chart.find('\n'), opts.width);
+}
+
+TEST(AsciiPlotTest, EmptyInput) {
+  EXPECT_EQ(RenderSeries(std::vector<double>{}), "");
+}
+
+TEST(AsciiPlotTest, HighlightsMarkColumns) {
+  std::vector<double> v = MakeSine(100, 20.0, 0.0, 2);
+  AsciiPlotOptions opts;
+  opts.width = 50;
+  opts.height = 5;
+  std::string plain = RenderSeries(v, {}, opts);
+  std::string marked = RenderSeries(v, {Interval{40, 60}}, opts);
+  EXPECT_EQ(plain.find('!'), std::string::npos);
+  EXPECT_NE(marked.find('!'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ConstantSeriesDoesNotCrash) {
+  std::vector<double> v(100, 3.0);
+  std::string chart = RenderSeries(v);
+  EXPECT_FALSE(chart.empty());
+}
+
+TEST(DensityShadingTest, ZeroDensityIsBlank) {
+  std::vector<uint32_t> d(100, 0);
+  std::string shading = RenderDensityShading(d, 50);
+  EXPECT_EQ(shading, std::string(50, ' '));
+}
+
+TEST(DensityShadingTest, HighDensityIsDarkest) {
+  std::vector<uint32_t> d(100, 10);
+  d[50] = 0;
+  std::string shading = RenderDensityShading(d, 100);
+  EXPECT_EQ(shading[10], '@');
+  EXPECT_EQ(shading[50], ' ');
+}
+
+TEST(DensityShadingTest, MonotoneInDensity) {
+  std::vector<uint32_t> d;
+  for (uint32_t i = 0; i < 100; ++i) {
+    d.push_back(i);
+  }
+  std::string shading = RenderDensityShading(d, 10);
+  static const std::string kShades = " .:-=+*#%@";
+  for (size_t i = 1; i < shading.size(); ++i) {
+    EXPECT_LE(kShades.find(shading[i - 1]), kShades.find(shading[i]));
+  }
+}
+
+TEST(ReportTest, DiscordTableListsRanks) {
+  LabeledSeries data = MakeSineWithAnomaly(1200, 60.0, 0.03, 600, 80, 4);
+  RraOptions opts;
+  opts.sax.window = 120;
+  opts.top_k = 2;
+  auto detection = FindRraDiscords(data.series, opts);
+  ASSERT_TRUE(detection.ok());
+  std::string table = DiscordTable(*detection);
+  EXPECT_NE(table.find("Rank"), std::string::npos);
+  EXPECT_NE(table.find("distance calls"), std::string::npos);
+}
+
+TEST(ReportTest, DensityTableAndRuleStats) {
+  LabeledSeries data = MakeSineWithAnomaly(1200, 60.0, 0.03, 600, 80, 4);
+  SaxOptions sax;
+  sax.window = 120;
+  auto detection = DetectDensityAnomalies(data.series, sax, {});
+  ASSERT_TRUE(detection.ok());
+  EXPECT_NE(DensityAnomalyTable(*detection).find("Rank"), std::string::npos);
+  std::string stats = RuleStatsTable(detection->decomposition);
+  EXPECT_NE(stats.find("Rule"), std::string::npos);
+  EXPECT_NE(stats.find("R1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gva
