@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_numerosity"
+  "../bench/ablation_numerosity.pdb"
+  "CMakeFiles/ablation_numerosity.dir/ablation_numerosity.cc.o"
+  "CMakeFiles/ablation_numerosity.dir/ablation_numerosity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_numerosity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_orderings"
+  "../bench/ablation_orderings.pdb"
+  "CMakeFiles/ablation_orderings.dir/ablation_orderings.cc.o"
+  "CMakeFiles/ablation_orderings.dir/ablation_orderings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

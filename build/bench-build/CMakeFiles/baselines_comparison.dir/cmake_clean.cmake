@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baselines_comparison"
+  "../bench/baselines_comparison.pdb"
+  "CMakeFiles/baselines_comparison.dir/baselines_comparison.cc.o"
+  "CMakeFiles/baselines_comparison.dir/baselines_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_param_grid"
+  "../bench/fig10_param_grid.pdb"
+  "CMakeFiles/fig10_param_grid.dir/fig10_param_grid.cc.o"
+  "CMakeFiles/fig10_param_grid.dir/fig10_param_grid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_param_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

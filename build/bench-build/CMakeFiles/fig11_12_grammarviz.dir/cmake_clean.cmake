@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_12_grammarviz"
+  "../bench/fig11_12_grammarviz.pdb"
+  "CMakeFiles/fig11_12_grammarviz.dir/fig11_12_grammarviz.cc.o"
+  "CMakeFiles/fig11_12_grammarviz.dir/fig11_12_grammarviz.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_grammarviz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_video_density"
+  "../bench/fig1_video_density.pdb"
+  "CMakeFiles/fig1_video_density.dir/fig1_video_density.cc.o"
+  "CMakeFiles/fig1_video_density.dir/fig1_video_density.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_video_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

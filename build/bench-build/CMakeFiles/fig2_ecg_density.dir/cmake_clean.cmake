@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_ecg_density"
+  "../bench/fig2_ecg_density.pdb"
+  "CMakeFiles/fig2_ecg_density.dir/fig2_ecg_density.cc.o"
+  "CMakeFiles/fig2_ecg_density.dir/fig2_ecg_density.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ecg_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

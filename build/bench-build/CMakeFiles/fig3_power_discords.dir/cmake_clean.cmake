@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_power_discords"
+  "../bench/fig3_power_discords.pdb"
+  "CMakeFiles/fig3_power_discords.dir/fig3_power_discords.cc.o"
+  "CMakeFiles/fig3_power_discords.dir/fig3_power_discords.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_power_discords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

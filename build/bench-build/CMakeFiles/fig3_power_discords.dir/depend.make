@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_power_discords.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_power_weeks"
+  "../bench/fig4_power_weeks.pdb"
+  "CMakeFiles/fig4_power_weeks.dir/fig4_power_weeks.cc.o"
+  "CMakeFiles/fig4_power_weeks.dir/fig4_power_weeks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_power_weeks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

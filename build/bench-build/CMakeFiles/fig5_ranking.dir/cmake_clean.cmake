@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_ranking"
+  "../bench/fig5_ranking.pdb"
+  "CMakeFiles/fig5_ranking.dir/fig5_ranking.cc.o"
+  "CMakeFiles/fig5_ranking.dir/fig5_ranking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_hilbert"
+  "../bench/fig6_hilbert.pdb"
+  "CMakeFiles/fig6_hilbert.dir/fig6_hilbert.cc.o"
+  "CMakeFiles/fig6_hilbert.dir/fig6_hilbert.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

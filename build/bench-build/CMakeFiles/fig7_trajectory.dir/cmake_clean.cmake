@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_trajectory"
+  "../bench/fig7_trajectory.pdb"
+  "CMakeFiles/fig7_trajectory.dir/fig7_trajectory.cc.o"
+  "CMakeFiles/fig7_trajectory.dir/fig7_trajectory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_distance_calls"
+  "../bench/table1_distance_calls.pdb"
+  "CMakeFiles/table1_distance_calls.dir/table1_distance_calls.cc.o"
+  "CMakeFiles/table1_distance_calls.dir/table1_distance_calls.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_distance_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

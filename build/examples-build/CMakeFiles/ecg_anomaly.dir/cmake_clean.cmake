@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/ecg_anomaly"
+  "../examples/ecg_anomaly.pdb"
+  "CMakeFiles/ecg_anomaly.dir/ecg_anomaly.cpp.o"
+  "CMakeFiles/ecg_anomaly.dir/ecg_anomaly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

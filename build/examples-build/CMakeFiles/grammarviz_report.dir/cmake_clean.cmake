@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/grammarviz_report"
+  "../examples/grammarviz_report.pdb"
+  "CMakeFiles/grammarviz_report.dir/grammarviz_report.cpp.o"
+  "CMakeFiles/grammarviz_report.dir/grammarviz_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammarviz_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/gva_cli"
+  "../examples/gva_cli.pdb"
+  "CMakeFiles/gva_cli.dir/gva_cli.cpp.o"
+  "CMakeFiles/gva_cli.dir/gva_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gva_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/power_demand"
+  "../examples/power_demand.pdb"
+  "CMakeFiles/power_demand.dir/power_demand.cpp.o"
+  "CMakeFiles/power_demand.dir/power_demand.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

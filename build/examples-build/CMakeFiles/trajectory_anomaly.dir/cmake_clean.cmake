@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/trajectory_anomaly"
+  "../examples/trajectory_anomaly.pdb"
+  "CMakeFiles/trajectory_anomaly.dir/trajectory_anomaly.cpp.o"
+  "CMakeFiles/trajectory_anomaly.dir/trajectory_anomaly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compression_score.cc" "src/CMakeFiles/gva.dir/core/compression_score.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/compression_score.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/CMakeFiles/gva.dir/core/detector.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/detector.cc.o.d"
+  "/root/repo/src/core/evaluate.cc" "src/CMakeFiles/gva.dir/core/evaluate.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/evaluate.cc.o.d"
+  "/root/repo/src/core/frequency_detector.cc" "src/CMakeFiles/gva.dir/core/frequency_detector.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/frequency_detector.cc.o.d"
+  "/root/repo/src/core/motif.cc" "src/CMakeFiles/gva.dir/core/motif.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/motif.cc.o.d"
+  "/root/repo/src/core/parameter_profile.cc" "src/CMakeFiles/gva.dir/core/parameter_profile.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/parameter_profile.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/gva.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/rra.cc" "src/CMakeFiles/gva.dir/core/rra.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/rra.cc.o.d"
+  "/root/repo/src/core/rule_density_detector.cc" "src/CMakeFiles/gva.dir/core/rule_density_detector.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/rule_density_detector.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/CMakeFiles/gva.dir/core/streaming.cc.o" "gcc" "src/CMakeFiles/gva.dir/core/streaming.cc.o.d"
+  "/root/repo/src/datasets/ecg.cc" "src/CMakeFiles/gva.dir/datasets/ecg.cc.o" "gcc" "src/CMakeFiles/gva.dir/datasets/ecg.cc.o.d"
+  "/root/repo/src/datasets/power_demand.cc" "src/CMakeFiles/gva.dir/datasets/power_demand.cc.o" "gcc" "src/CMakeFiles/gva.dir/datasets/power_demand.cc.o.d"
+  "/root/repo/src/datasets/respiration.cc" "src/CMakeFiles/gva.dir/datasets/respiration.cc.o" "gcc" "src/CMakeFiles/gva.dir/datasets/respiration.cc.o.d"
+  "/root/repo/src/datasets/simple.cc" "src/CMakeFiles/gva.dir/datasets/simple.cc.o" "gcc" "src/CMakeFiles/gva.dir/datasets/simple.cc.o.d"
+  "/root/repo/src/datasets/tek.cc" "src/CMakeFiles/gva.dir/datasets/tek.cc.o" "gcc" "src/CMakeFiles/gva.dir/datasets/tek.cc.o.d"
+  "/root/repo/src/datasets/trajectory.cc" "src/CMakeFiles/gva.dir/datasets/trajectory.cc.o" "gcc" "src/CMakeFiles/gva.dir/datasets/trajectory.cc.o.d"
+  "/root/repo/src/datasets/video.cc" "src/CMakeFiles/gva.dir/datasets/video.cc.o" "gcc" "src/CMakeFiles/gva.dir/datasets/video.cc.o.d"
+  "/root/repo/src/discord/brute_force.cc" "src/CMakeFiles/gva.dir/discord/brute_force.cc.o" "gcc" "src/CMakeFiles/gva.dir/discord/brute_force.cc.o.d"
+  "/root/repo/src/discord/distance.cc" "src/CMakeFiles/gva.dir/discord/distance.cc.o" "gcc" "src/CMakeFiles/gva.dir/discord/distance.cc.o.d"
+  "/root/repo/src/discord/hotsax.cc" "src/CMakeFiles/gva.dir/discord/hotsax.cc.o" "gcc" "src/CMakeFiles/gva.dir/discord/hotsax.cc.o.d"
+  "/root/repo/src/grammar/grammar.cc" "src/CMakeFiles/gva.dir/grammar/grammar.cc.o" "gcc" "src/CMakeFiles/gva.dir/grammar/grammar.cc.o.d"
+  "/root/repo/src/grammar/grammar_printer.cc" "src/CMakeFiles/gva.dir/grammar/grammar_printer.cc.o" "gcc" "src/CMakeFiles/gva.dir/grammar/grammar_printer.cc.o.d"
+  "/root/repo/src/grammar/rule_intervals.cc" "src/CMakeFiles/gva.dir/grammar/rule_intervals.cc.o" "gcc" "src/CMakeFiles/gva.dir/grammar/rule_intervals.cc.o.d"
+  "/root/repo/src/grammar/sequitur.cc" "src/CMakeFiles/gva.dir/grammar/sequitur.cc.o" "gcc" "src/CMakeFiles/gva.dir/grammar/sequitur.cc.o.d"
+  "/root/repo/src/grammar/serialization.cc" "src/CMakeFiles/gva.dir/grammar/serialization.cc.o" "gcc" "src/CMakeFiles/gva.dir/grammar/serialization.cc.o.d"
+  "/root/repo/src/hilbert/hilbert.cc" "src/CMakeFiles/gva.dir/hilbert/hilbert.cc.o" "gcc" "src/CMakeFiles/gva.dir/hilbert/hilbert.cc.o.d"
+  "/root/repo/src/sax/alphabet.cc" "src/CMakeFiles/gva.dir/sax/alphabet.cc.o" "gcc" "src/CMakeFiles/gva.dir/sax/alphabet.cc.o.d"
+  "/root/repo/src/sax/mindist.cc" "src/CMakeFiles/gva.dir/sax/mindist.cc.o" "gcc" "src/CMakeFiles/gva.dir/sax/mindist.cc.o.d"
+  "/root/repo/src/sax/paa.cc" "src/CMakeFiles/gva.dir/sax/paa.cc.o" "gcc" "src/CMakeFiles/gva.dir/sax/paa.cc.o.d"
+  "/root/repo/src/sax/sax_transform.cc" "src/CMakeFiles/gva.dir/sax/sax_transform.cc.o" "gcc" "src/CMakeFiles/gva.dir/sax/sax_transform.cc.o.d"
+  "/root/repo/src/timeseries/io.cc" "src/CMakeFiles/gva.dir/timeseries/io.cc.o" "gcc" "src/CMakeFiles/gva.dir/timeseries/io.cc.o.d"
+  "/root/repo/src/timeseries/stats.cc" "src/CMakeFiles/gva.dir/timeseries/stats.cc.o" "gcc" "src/CMakeFiles/gva.dir/timeseries/stats.cc.o.d"
+  "/root/repo/src/timeseries/transforms.cc" "src/CMakeFiles/gva.dir/timeseries/transforms.cc.o" "gcc" "src/CMakeFiles/gva.dir/timeseries/transforms.cc.o.d"
+  "/root/repo/src/timeseries/znorm.cc" "src/CMakeFiles/gva.dir/timeseries/znorm.cc.o" "gcc" "src/CMakeFiles/gva.dir/timeseries/znorm.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/gva.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/gva.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/math_utils.cc" "src/CMakeFiles/gva.dir/util/math_utils.cc.o" "gcc" "src/CMakeFiles/gva.dir/util/math_utils.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/gva.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/gva.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/gva.dir/util/status.cc.o" "gcc" "src/CMakeFiles/gva.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/gva.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/gva.dir/util/strings.cc.o.d"
+  "/root/repo/src/viz/ascii_plot.cc" "src/CMakeFiles/gva.dir/viz/ascii_plot.cc.o" "gcc" "src/CMakeFiles/gva.dir/viz/ascii_plot.cc.o.d"
+  "/root/repo/src/viz/report.cc" "src/CMakeFiles/gva.dir/viz/report.cc.o" "gcc" "src/CMakeFiles/gva.dir/viz/report.cc.o.d"
+  "/root/repo/src/viz/svg.cc" "src/CMakeFiles/gva.dir/viz/svg.cc.o" "gcc" "src/CMakeFiles/gva.dir/viz/svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

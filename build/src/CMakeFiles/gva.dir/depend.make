@@ -1,0 +1,2 @@
+# Empty dependencies file for gva.
+# This may be replaced when dependencies are built.

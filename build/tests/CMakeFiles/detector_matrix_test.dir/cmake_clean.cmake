@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_matrix_test.dir/integration/detector_matrix_test.cc.o"
+  "CMakeFiles/detector_matrix_test.dir/integration/detector_matrix_test.cc.o.d"
+  "detector_matrix_test"
+  "detector_matrix_test.pdb"
+  "detector_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discord_property_test.dir/discord/discord_property_test.cc.o"
+  "CMakeFiles/discord_property_test.dir/discord/discord_property_test.cc.o.d"
+  "discord_property_test"
+  "discord_property_test.pdb"
+  "discord_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discord_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

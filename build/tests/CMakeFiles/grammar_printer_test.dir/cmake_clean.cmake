@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_printer_test.dir/grammar/grammar_printer_test.cc.o"
+  "CMakeFiles/grammar_printer_test.dir/grammar/grammar_printer_test.cc.o.d"
+  "grammar_printer_test"
+  "grammar_printer_test.pdb"
+  "grammar_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotsax_test.dir/discord/hotsax_test.cc.o"
+  "CMakeFiles/hotsax_test.dir/discord/hotsax_test.cc.o.d"
+  "hotsax_test"
+  "hotsax_test.pdb"
+  "hotsax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotsax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_sequitur_test.dir/grammar/incremental_sequitur_test.cc.o"
+  "CMakeFiles/incremental_sequitur_test.dir/grammar/incremental_sequitur_test.cc.o.d"
+  "incremental_sequitur_test"
+  "incremental_sequitur_test.pdb"
+  "incremental_sequitur_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_sequitur_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

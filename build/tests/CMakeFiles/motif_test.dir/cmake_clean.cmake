@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_test.dir/core/motif_test.cc.o"
+  "CMakeFiles/motif_test.dir/core/motif_test.cc.o.d"
+  "motif_test"
+  "motif_test.pdb"
+  "motif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

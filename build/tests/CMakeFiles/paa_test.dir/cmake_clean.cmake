@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paa_test.dir/sax/paa_test.cc.o"
+  "CMakeFiles/paa_test.dir/sax/paa_test.cc.o.d"
+  "paa_test"
+  "paa_test.pdb"
+  "paa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_profile_test.dir/core/parameter_profile_test.cc.o"
+  "CMakeFiles/parameter_profile_test.dir/core/parameter_profile_test.cc.o.d"
+  "parameter_profile_test"
+  "parameter_profile_test.pdb"
+  "parameter_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rra_test.dir/core/rra_test.cc.o"
+  "CMakeFiles/rra_test.dir/core/rra_test.cc.o.d"
+  "rra_test"
+  "rra_test.pdb"
+  "rra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_density_detector_test.dir/core/rule_density_detector_test.cc.o"
+  "CMakeFiles/rule_density_detector_test.dir/core/rule_density_detector_test.cc.o.d"
+  "rule_density_detector_test"
+  "rule_density_detector_test.pdb"
+  "rule_density_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_density_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_intervals_test.dir/grammar/rule_intervals_test.cc.o"
+  "CMakeFiles/rule_intervals_test.dir/grammar/rule_intervals_test.cc.o.d"
+  "rule_intervals_test"
+  "rule_intervals_test.pdb"
+  "rule_intervals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_intervals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sax_transform_test.dir/sax/sax_transform_test.cc.o"
+  "CMakeFiles/sax_transform_test.dir/sax/sax_transform_test.cc.o.d"
+  "sax_transform_test"
+  "sax_transform_test.pdb"
+  "sax_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sax_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
