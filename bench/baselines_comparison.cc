@@ -6,8 +6,17 @@
 // counting throws away ordering and is bounded by the window length, and
 // off-the-shelf compression scoring needs a segment size; the grammar
 // methods get variable-length context for free.
+//
+// A second section sweeps the discord-search thread count on a ~20k-point
+// ECG-like series: same discords at every thread count (the searches
+// guarantee bit-identical results), wall-clock dropping with threads on
+// multi-core hardware.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/compression_score.h"
@@ -15,10 +24,150 @@
 #include "core/frequency_detector.h"
 #include "core/rra.h"
 #include "core/rule_density_detector.h"
+#include "datasets/ecg.h"
 #include "datasets/video.h"
+#include "discord/brute_force.h"
+#include "discord/hotsax.h"
 
 namespace gva {
 namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool SameDiscords(const DiscordResult& a, const DiscordResult& b) {
+  if (a.discords.size() != b.discords.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.discords.size(); ++i) {
+    if (a.discords[i].position != b.discords[i].position ||
+        a.discords[i].length != b.discords[i].length ||
+        a.discords[i].distance != b.discords[i].distance ||
+        a.discords[i].nn_position != b.discords[i].nn_position) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunThreadSweep() {
+  bench::Header("Thread sweep: parallel discord search on ~20k-point ECG");
+
+  EcgOptions ecg;
+  ecg.num_beats = 167;  // ~167 x 120 samples ≈ 20k points
+  ecg.anomalous_beats = {83};
+  LabeledSeries data = MakeEcg(ecg);
+  const size_t window = 120;
+  std::printf("series length: %zu, window: %zu, hardware threads: %u\n\n",
+              data.series.size(), window,
+              std::thread::hardware_concurrency());
+
+  const std::vector<size_t> thread_counts = {1, 2, 4};
+
+  std::printf("%-28s %8s %12s %10s %14s\n", "Search", "threads", "seconds",
+              "speedup", "dist. calls");
+  double brute_base = 0.0;
+  double brute_best_speedup = 1.0;
+  bool brute_identical = true;
+  DiscordResult brute_reference;
+  for (size_t threads : thread_counts) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = FindDiscordsBruteForce(data.series, window, 1, threads);
+    const double seconds = SecondsSince(start);
+    if (!result.ok()) {
+      std::printf("brute force failed: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    if (threads == 1) {
+      brute_base = seconds;
+      brute_reference = *result;
+    } else {
+      brute_identical = brute_identical && SameDiscords(brute_reference,
+                                                       *result);
+      brute_best_speedup = std::max(brute_best_speedup,
+                                    brute_base / seconds);
+    }
+    std::printf("%-28s %8zu %12.3f %9.2fx %14llu\n", "brute force", threads,
+                seconds, brute_base / seconds,
+                static_cast<unsigned long long>(result->distance_calls));
+  }
+
+  bool hotsax_identical = true;
+  DiscordResult hotsax_reference;
+  for (size_t threads : thread_counts) {
+    HotSaxOptions options;
+    options.sax.window = window;
+    options.sax.paa_size = 6;
+    options.sax.alphabet_size = 4;
+    options.num_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    auto result = FindDiscordsHotSax(data.series, options);
+    const double seconds = SecondsSince(start);
+    if (!result.ok()) {
+      std::printf("hotsax failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    if (threads == 1) {
+      hotsax_reference = *result;
+    } else {
+      hotsax_identical = hotsax_identical && SameDiscords(hotsax_reference,
+                                                          *result);
+    }
+    std::printf("%-28s %8zu %12.3f %10s %14llu\n", "HOTSAX", threads,
+                seconds, "",
+                static_cast<unsigned long long>(result->distance_calls));
+  }
+
+  bool rra_identical = true;
+  DiscordResult rra_reference;
+  for (size_t threads : thread_counts) {
+    RraOptions options;
+    options.sax.window = window;
+    options.sax.paa_size = 6;
+    options.sax.alphabet_size = 4;
+    options.top_k = 2;
+    options.num_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    auto result = FindRraDiscords(data.series, options);
+    const double seconds = SecondsSince(start);
+    if (!result.ok()) {
+      std::printf("rra failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    if (threads == 1) {
+      rra_reference = result->result;
+    } else {
+      rra_identical = rra_identical && SameDiscords(rra_reference,
+                                                    result->result);
+    }
+    std::printf("%-28s %8zu %12.3f %10s %14llu\n", "RRA", threads, seconds,
+                "",
+                static_cast<unsigned long long>(
+                    result->result.distance_calls));
+  }
+  std::printf("\n");
+
+  bench::Check(brute_identical,
+               "brute force reports bit-identical discords at every thread "
+               "count");
+  bench::Check(hotsax_identical,
+               "HOTSAX reports bit-identical discords at every thread count");
+  bench::Check(rra_identical,
+               "RRA reports bit-identical discords at every thread count");
+  if (std::thread::hardware_concurrency() >= 4) {
+    bench::Check(brute_best_speedup >= 2.0,
+                 "brute force achieves >= 2x wall-clock speedup with threads");
+  } else {
+    std::printf("note: < 4 hardware threads available; skipping the speedup "
+                "check (best observed %.2fx)\n",
+                brute_best_speedup);
+  }
+  return 0;
+}
 
 int Run() {
   bench::Header("Baselines: grammar methods vs word frequency vs "
@@ -114,6 +263,9 @@ int Run() {
   bench::Check(freq_recall > 0.0 && comp_recall > 0.0,
                "the baselines find at least one anomaly (they are real "
                "methods, just weaker)");
+  if (int sweep = RunThreadSweep(); sweep != 0) {
+    return sweep;
+  }
   return bench::CheckExitCode();
 }
 

@@ -47,6 +47,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/rng.cc" "src/CMakeFiles/gva.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/gva.dir/util/rng.cc.o.d"
   "/root/repo/src/util/status.cc" "src/CMakeFiles/gva.dir/util/status.cc.o" "gcc" "src/CMakeFiles/gva.dir/util/status.cc.o.d"
   "/root/repo/src/util/strings.cc" "src/CMakeFiles/gva.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/gva.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/gva.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/gva.dir/util/thread_pool.cc.o.d"
   "/root/repo/src/viz/ascii_plot.cc" "src/CMakeFiles/gva.dir/viz/ascii_plot.cc.o" "gcc" "src/CMakeFiles/gva.dir/viz/ascii_plot.cc.o.d"
   "/root/repo/src/viz/report.cc" "src/CMakeFiles/gva.dir/viz/report.cc.o" "gcc" "src/CMakeFiles/gva.dir/viz/report.cc.o.d"
   "/root/repo/src/viz/svg.cc" "src/CMakeFiles/gva.dir/viz/svg.cc.o" "gcc" "src/CMakeFiles/gva.dir/viz/svg.cc.o.d"

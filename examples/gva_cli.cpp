@@ -12,6 +12,8 @@
 //   --top N         anomalies/discords to report (default 3)
 //   --threshold F   density threshold fraction (default 0.05)
 //   --approx        rra: paper's interval-aligned inner loop (no exact tail)
+//   --threads N     rra: search threads (0 = all cores; default 1);
+//                   discords are identical for every value
 //   --csv-out PATH  write the density curve next to the series as CSV
 
 #include <cstdio>
@@ -56,7 +58,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: gva_cli <density|rra|profile> <series.csv> "
                "[--window N --paa N --alphabet N --column N --top N "
-               "--threshold F --approx --csv-out PATH]\n");
+               "--threshold F --approx --threads N --csv-out PATH]\n");
   return 2;
 }
 
@@ -149,6 +151,7 @@ int RunRra(const Args& args, const TimeSeries& series) {
   options.sax = *sax;
   options.top_k = args.get_size("top", 3);
   options.exact_nearest_neighbor = !args.has_flag("approx");
+  options.num_threads = args.get_size("threads", 1);
   auto detection = FindRraDiscords(series, options);
   if (!detection.ok()) {
     std::fprintf(stderr, "%s\n", detection.status().ToString().c_str());

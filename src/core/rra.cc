@@ -4,7 +4,9 @@
 #include <unordered_map>
 
 #include "discord/distance.h"
+#include "discord/parallel_search.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace gva {
 
@@ -84,174 +86,210 @@ SearchState BuildOrders(const std::vector<RuleInterval>& candidates,
   return state;
 }
 
-/// One discord-search round (Algorithm 1). Returns false when no remaining
-/// candidate has a finite nearest-neighbor distance.
-/// Cross-round memo of each candidate's nearest-neighbor distance: an upper
-/// bound from partial scans, exact when a full scan completed. Later top-k
-/// rounds prune against it without spending distance calls.
+/// Cross-round memo of nearest-neighbor distances: only *completed* scans
+/// are recorded, so every entry is the candidate's true nearest-neighbor
+/// distance. Later top-k rounds reuse exact entries without spending
+/// distance calls. Partial (pruned) scans are deliberately not memoized:
+/// where a scan gets cut off depends on cross-thread pruning timing, so
+/// caching partial bounds would leak thread-count-dependent state into
+/// later rounds and break the bit-identical-results guarantee.
 struct NnCache {
-  std::vector<double> upper;   // true nn <= upper
-  std::vector<bool> exact;     // upper IS the true nn
-  std::vector<size_t> nn_pos;  // neighbor achieving `upper`
+  std::vector<double> nn;      // true nearest-neighbor distance when exact
+  std::vector<char> exact;     // entry is populated
+  std::vector<size_t> nn_pos;  // neighbor achieving `nn`
 };
 
+/// A completed candidate scan, recorded thread-locally during a round and
+/// merged into the NnCache afterwards. Each candidate is owned by exactly
+/// one chunk, so the merge never sees two updates for the same index.
+struct CacheUpdate {
+  size_t ci;
+  double nn;
+  size_t nn_pos;
+};
+
+/// One discord-search round (Algorithm 1), parallelized over chunks of the
+/// outer ordering. Returns false when no remaining candidate has a finite
+/// nearest-neighbor distance.
+///
+/// Determinism: a candidate scan starts from scratch (no partial bounds),
+/// follows fixed visit orders, and is cut short only by strict comparison
+/// against the shared best-so-far — so a completed scan always produces the
+/// same (distance, neighbor) pair, a tying-or-winning candidate can never
+/// be pruned, and the arg-max reduction with the BestCandidate total order
+/// yields the same round winner for every thread count.
 bool FindBestDiscord(const SubsequenceDistance& dist, const SearchState& state,
-                     const std::vector<bool>& excluded, bool normalize,
-                     bool exact_nn, size_t refine_delta, NnCache& cache,
-                     DiscordRecord* best) {
+                     const std::vector<char>& excluded, bool normalize,
+                     bool exact_nn, size_t refine_delta, ThreadPool& pool,
+                     NnCache& cache, DiscordRecord* best) {
   const std::vector<RuleInterval>& candidates = *state.candidates;
   const size_t m = dist.series_length();
 
-  double best_dist = -1.0;
-  const RuleInterval* best_interval = nullptr;
-  size_t best_nn = 0;
+  SharedBestDistance shared_best;
 
-  for (size_t ci : state.outer_order) {
-    if (excluded[ci]) {
+  // Exact entries from earlier rounds need no rescan: fold them into the
+  // reduction up front. Their maximum also seeds the shared pruning
+  // threshold before any distance call is spent.
+  BestCandidate overall;
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    if (excluded[ci] || !cache.exact[ci] ||
+        cache.nn[ci] == SubsequenceDistance::kInfinity) {
       continue;
     }
-    // Re-use knowledge from earlier rounds.
-    if (cache.upper[ci] < best_dist) {
-      continue;  // true nn <= upper < best: cannot win
-    }
-    if (cache.exact[ci]) {
-      if (cache.upper[ci] > best_dist &&
-          cache.upper[ci] != SubsequenceDistance::kInfinity) {
-        best_dist = cache.upper[ci];
-        best_interval = &candidates[ci];
-        best_nn = cache.nn_pos[ci];
-      }
-      continue;
-    }
-    const RuleInterval& cand = candidates[ci];
-    const size_t p = cand.span.start;
-    const size_t len = cand.span.length();
-    const double norm = normalize ? static_cast<double>(len) : 1.0;
+    overall.Consider(BestCandidate{cache.nn[ci], candidates[ci].span.start,
+                                   candidates[ci].span.length(),
+                                   cache.nn_pos[ci], candidates[ci].rule,
+                                   true});
+  }
+  if (overall.valid) {
+    shared_best.RaiseTo(overall.distance);
+  }
 
-    double nn = SubsequenceDistance::kInfinity;  // normalized units
-    size_t nn_q = 0;
-    bool pruned = false;
-    if (cache.upper[ci] != SubsequenceDistance::kInfinity) {
-      // Partial knowledge from an earlier round tightens the abandon limit
-      // from the first call.
-      nn = cache.upper[ci];
-      nn_q = cache.nn_pos[ci];
-    }
+  std::vector<BestCandidate> chunk_best(pool.num_threads());
+  std::vector<std::vector<CacheUpdate>> chunk_updates(pool.num_threads());
 
-    auto visit_position = [&](size_t q) {
-      if (q + len > m) {
-        return true;  // neighbor window does not fit
+  pool.ParallelFor(0, state.outer_order.size(), [&](size_t chunk_begin,
+                                                    size_t chunk_end,
+                                                    size_t chunk) {
+    BestCandidate local;
+    std::vector<CacheUpdate>& updates = chunk_updates[chunk];
+    for (size_t oi = chunk_begin; oi < chunk_end; ++oi) {
+      const size_t ci = state.outer_order[oi];
+      if (excluded[ci] || cache.exact[ci]) {
+        continue;
       }
-      const size_t gap = p > q ? p - q : q - p;
-      if (gap < len) {
-        return true;  // self match (|p0 - q0| < Length(p))
-      }
-      const double limit_raw =
-          nn == SubsequenceDistance::kInfinity ? nn : nn * norm;
-      const double raw = dist.Distance(p, q, len, limit_raw);
-      const double d = raw / norm;
-      if (d < nn) {
-        nn = d;
-        nn_q = q;
-        if (nn < best_dist) {
-          pruned = true;  // candidate cannot beat the best so far
-          return false;
-        }
-      }
-      return true;
-    };
-    auto visit = [&](size_t qi) {
-      return visit_position(candidates[qi].span.start);
-    };
-    // Local alignment refinement around the current nearest neighbor.
-    // Interval starts quantize the alignment space (numerosity reduction
-    // keeps roughly one start per PAA segment), so an aligned neighbor is
-    // usually a few samples off its true optimum; probing around it costs a
-    // handful of calls and prunes candidates that only look anomalous
-    // because of alignment noise.
-    auto refine = [&]() {
-      if (pruned || nn == SubsequenceDistance::kInfinity) {
-        return;
-      }
-      const size_t center = nn_q;
-      for (size_t off = 1; off <= refine_delta && !pruned; ++off) {
-        if (center >= off && !visit_position(center - off)) {
-          break;
-        }
-        if (!pruned && !visit_position(center + off)) {
-          break;
-        }
-      }
-    };
+      const RuleInterval& cand = candidates[ci];
+      const size_t p = cand.span.start;
+      const size_t len = cand.span.length();
+      const double norm = normalize ? static_cast<double>(len) : 1.0;
 
-    // Inner phase 1: occurrences of the same rule — highly similar by
-    // construction, most likely to abandon the candidate early — then
-    // refine the alignment around the best of them.
-    auto rule_it = state.by_rule.find(cand.rule);
-    if (rule_it != state.by_rule.end() && cand.rule >= 0) {
-      for (size_t qi : rule_it->second) {
-        if (qi != ci && !visit(qi)) {
-          break;
-        }
-      }
-      if (exact_nn) {
-        refine();
-      }
-    }
-    // Inner phase 2: the other rule intervals, random order, followed by
-    // another refinement pass if the nearest neighbor moved.
-    if (!pruned) {
-      const size_t nn_before = nn_q;
-      for (size_t qi : state.inner_random) {
-        if (qi == ci ||
-            (cand.rule >= 0 && candidates[qi].rule == cand.rule)) {
-          continue;
-        }
-        if (!visit(qi)) {
-          break;
-        }
-      }
-      if (exact_nn && !pruned && nn_q != nn_before) {
-        refine();
-      }
-    }
-    // Inner phase 3: every remaining sliding-window position, random order.
-    // A candidate that is still promising here is verified exhaustively so
-    // the reported discord distance is its true nearest-non-self-match
-    // distance. Early abandoning keeps this phase cheap: one neighbor below
-    // best_so_far prunes the candidate.
-    if (exact_nn && !pruned) {
-      for (size_t q : state.all_positions_random) {
-        if (!visit_position(q)) {
-          break;
-        }
-      }
-    }
+      double nn = SubsequenceDistance::kInfinity;  // normalized units
+      size_t nn_q = 0;
+      bool pruned = false;
 
-    // Record what this scan learned for later rounds: `nn` upper-bounds the
-    // true nearest-neighbor distance, and is exact when the exhaustive
-    // phase completed.
-    if (nn < cache.upper[ci]) {
-      cache.upper[ci] = nn;
-      cache.nn_pos[ci] = nn_q;
-    }
-    if (!pruned) {
-      cache.exact[ci] = true;
-    }
+      auto visit_position = [&](size_t q) {
+        if (q + len > m) {
+          return true;  // neighbor window does not fit
+        }
+        const size_t gap = p > q ? p - q : q - p;
+        if (gap < len) {
+          return true;  // self match (|p0 - q0| < Length(p))
+        }
+        const double limit_raw =
+            nn == SubsequenceDistance::kInfinity ? nn : nn * norm;
+        const double raw = dist.Distance(p, q, len, limit_raw);
+        const double d = raw / norm;
+        if (d < nn) {
+          nn = d;
+          nn_q = q;
+          if (nn < shared_best.load()) {
+            pruned = true;  // candidate cannot beat the best so far
+            return false;
+          }
+        }
+        return true;
+      };
+      auto visit = [&](size_t qi) {
+        return visit_position(candidates[qi].span.start);
+      };
+      // Local alignment refinement around the current nearest neighbor.
+      // Interval starts quantize the alignment space (numerosity reduction
+      // keeps roughly one start per PAA segment), so an aligned neighbor is
+      // usually a few samples off its true optimum; probing around it costs
+      // a handful of calls and prunes candidates that only look anomalous
+      // because of alignment noise.
+      auto refine = [&]() {
+        if (pruned || nn == SubsequenceDistance::kInfinity) {
+          return;
+        }
+        const size_t center = nn_q;
+        for (size_t off = 1; off <= refine_delta && !pruned; ++off) {
+          if (center >= off && !visit_position(center - off)) {
+            break;
+          }
+          if (!pruned && !visit_position(center + off)) {
+            break;
+          }
+        }
+      };
 
-    if (!pruned && nn != SubsequenceDistance::kInfinity && nn > best_dist) {
-      best_dist = nn;
-      best_interval = &cand;
-      best_nn = nn_q;
+      // Inner phase 1: occurrences of the same rule — highly similar by
+      // construction, most likely to abandon the candidate early — then
+      // refine the alignment around the best of them.
+      auto rule_it = state.by_rule.find(cand.rule);
+      if (rule_it != state.by_rule.end() && cand.rule >= 0) {
+        for (size_t qi : rule_it->second) {
+          if (qi != ci && !visit(qi)) {
+            break;
+          }
+        }
+        if (exact_nn) {
+          refine();
+        }
+      }
+      // Inner phase 2: the other rule intervals, random order, followed by
+      // another refinement pass if the nearest neighbor moved.
+      if (!pruned) {
+        const size_t nn_before = nn_q;
+        for (size_t qi : state.inner_random) {
+          if (qi == ci ||
+              (cand.rule >= 0 && candidates[qi].rule == cand.rule)) {
+            continue;
+          }
+          if (!visit(qi)) {
+            break;
+          }
+        }
+        if (exact_nn && !pruned && nn_q != nn_before) {
+          refine();
+        }
+      }
+      // Inner phase 3: every remaining sliding-window position, random
+      // order. A candidate that is still promising here is verified
+      // exhaustively so the reported discord distance is its true
+      // nearest-non-self-match distance. Early abandoning keeps this phase
+      // cheap: one neighbor below best_so_far prunes the candidate.
+      if (exact_nn && !pruned) {
+        for (size_t q : state.all_positions_random) {
+          if (!visit_position(q)) {
+            break;
+          }
+        }
+      }
+
+      // A completed scan established the candidate's true nearest-neighbor
+      // distance; queue it for the post-round cache merge. Pruned scans
+      // learned nothing reusable (see NnCache).
+      if (!pruned) {
+        updates.push_back(CacheUpdate{ci, nn, nn_q});
+        if (nn != SubsequenceDistance::kInfinity) {
+          local.Consider(BestCandidate{nn, p, len, nn_q, cand.rule, true});
+          shared_best.RaiseTo(nn);
+        }
+      }
+    }
+    chunk_best[chunk] = local;
+  });
+
+  // Post-round merge: publish what the chunks learned. Each candidate index
+  // appears in at most one update list, so the merged cache state does not
+  // depend on the thread count or merge order.
+  for (const std::vector<CacheUpdate>& updates : chunk_updates) {
+    for (const CacheUpdate& update : updates) {
+      cache.nn[update.ci] = update.nn;
+      cache.nn_pos[update.ci] = update.nn_pos;
+      cache.exact[update.ci] = 1;
     }
   }
 
-  if (best_interval == nullptr) {
+  for (const BestCandidate& candidate : chunk_best) {
+    overall.Consider(candidate);
+  }
+  if (!overall.valid) {
     return false;
   }
-  *best = DiscordRecord{best_interval->span.start,
-                        best_interval->span.length(), best_dist, best_nn,
-                        best_interval->rule};
+  *best = DiscordRecord{overall.position, overall.length, overall.distance,
+                        overall.nn_position, overall.rule};
   return true;
 }
 
@@ -276,10 +314,11 @@ StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
   SearchState state =
       BuildOrders(candidates, series.size(), options.seed);
   SubsequenceDistance dist(series, options.sax.znorm_epsilon);
-  std::vector<bool> excluded(candidates.size(), false);
+  std::vector<char> excluded(candidates.size(), 0);
+  ThreadPool pool(options.num_threads);
   NnCache cache;
-  cache.upper.assign(candidates.size(), SubsequenceDistance::kInfinity);
-  cache.exact.assign(candidates.size(), false);
+  cache.nn.assign(candidates.size(), SubsequenceDistance::kInfinity);
+  cache.exact.assign(candidates.size(), 0);
   cache.nn_pos.assign(candidates.size(), 0);
 
   for (size_t k = 0; k < options.top_k; ++k) {
@@ -289,15 +328,15 @@ StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
     const size_t refine_delta = std::max<size_t>(
         2, options.sax.window / std::max<size_t>(1, 2 * options.sax.paa_size));
     if (!FindBestDiscord(dist, state, excluded, options.normalize_by_length,
-                         options.exact_nearest_neighbor, refine_delta, cache,
-                         &best)) {
+                         options.exact_nearest_neighbor, refine_delta, pool,
+                         cache, &best)) {
       break;
     }
     result.discords.push_back(best);
     // Exclude candidates overlapping the discovered discord.
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (candidates[i].span.Overlaps(best.span())) {
-        excluded[i] = true;
+        excluded[i] = 1;
       }
     }
   }
@@ -319,8 +358,9 @@ StatusOr<RraDetection> FindRraDiscords(std::span<const double> series,
 
 std::vector<double> IntervalNnDistances(std::span<const double> series,
                                         const std::vector<RuleInterval>& all,
-                                        bool normalize_by_length) {
-  SubsequenceDistance dist(series);
+                                        bool normalize_by_length,
+                                        double znorm_epsilon) {
+  SubsequenceDistance dist(series, znorm_epsilon);
   const size_t m = series.size();
   std::vector<double> result(all.size(), SubsequenceDistance::kInfinity);
   for (size_t i = 0; i < all.size(); ++i) {

@@ -7,6 +7,7 @@
 
 #include "core/pipeline.h"
 #include "discord/discord_record.h"
+#include "timeseries/znorm.h"
 #include "util/statusor.h"
 
 namespace gva {
@@ -43,6 +44,12 @@ struct RraOptions {
   /// approximate behaviour of the original GrammarViz RRA, cheaper but
   /// sensitive to alignment quantization.
   bool exact_nearest_neighbor = true;
+  /// Concurrency lanes for the outer candidate loop of each search round;
+  /// 0 means all hardware threads. Reported discords are bit-identical for
+  /// every value (see DESIGN.md, "Concurrency model"); only the
+  /// distance-call count varies, because cross-thread pruning cuts losing
+  /// scans at different points.
+  size_t num_threads = 1;
 };
 
 /// Full RRA output: the grammar decomposition plus the ranked discords and
@@ -71,10 +78,16 @@ StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
 /// For every rule interval, its (normalized) distance to the nearest
 /// non-self match among the other intervals — the bottom panels of the
 /// paper's Figures 2 and 3. Exhaustive (no pruning); intended for plots and
-/// diagnostics, not for the search itself.
+/// diagnostics, not for the search itself. `znorm_epsilon` must match the
+/// epsilon of the RRA run whose intervals are being ranked (it defaults to
+/// the library-wide flat-window threshold, the same default as
+/// SaxOptions::znorm_epsilon); with a mismatched epsilon the ranking can
+/// disagree with the search on near-flat windows.
 std::vector<double> IntervalNnDistances(std::span<const double> series,
                                         const std::vector<RuleInterval>& all,
-                                        bool normalize_by_length = true);
+                                        bool normalize_by_length = true,
+                                        double znorm_epsilon =
+                                            kDefaultZNormEpsilon);
 
 }  // namespace gva
 

@@ -6,6 +6,7 @@
 #include "discord/distance.h"
 #include "timeseries/sliding_window.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace gva {
 
@@ -26,7 +27,8 @@ uint64_t BruteForceCallCount(size_t m, size_t n) {
 }
 
 StatusOr<DiscordResult> FindDiscordsBruteForce(std::span<const double> series,
-                                               size_t window, size_t top_k) {
+                                               size_t window, size_t top_k,
+                                               size_t num_threads) {
   if (window < 2) {
     return Status::InvalidArgument("window must be >= 2");
   }
@@ -43,25 +45,33 @@ StatusOr<DiscordResult> FindDiscordsBruteForce(std::span<const double> series,
   SubsequenceDistance dist(series);
 
   // One full pass computes every candidate's nearest non-self neighbor.
+  // Candidates are independent (each scan abandons only against its own
+  // running nearest neighbor, never a shared best), so the outer loop
+  // parallelizes over disjoint slices of the result arrays and the output
+  // is bit-identical for every thread count.
   std::vector<double> nn_dist(candidates,
                               SubsequenceDistance::kInfinity);
   std::vector<size_t> nn_pos(candidates, 0);
-  for (size_t p = 0; p < candidates; ++p) {
-    double best = SubsequenceDistance::kInfinity;
-    size_t best_q = 0;
-    for (size_t q = 0; q < candidates; ++q) {
-      if (IsSelfMatch(p, q, window)) {
-        continue;
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(0, candidates, [&](size_t chunk_begin, size_t chunk_end,
+                                      size_t /*chunk*/) {
+    for (size_t p = chunk_begin; p < chunk_end; ++p) {
+      double best = SubsequenceDistance::kInfinity;
+      size_t best_q = 0;
+      for (size_t q = 0; q < candidates; ++q) {
+        if (IsSelfMatch(p, q, window)) {
+          continue;
+        }
+        const double d = dist.Distance(p, q, window, best);
+        if (d < best) {
+          best = d;
+          best_q = q;
+        }
       }
-      const double d = dist.Distance(p, q, window, best);
-      if (d < best) {
-        best = d;
-        best_q = q;
-      }
+      nn_dist[p] = best;
+      nn_pos[p] = best_q;
     }
-    nn_dist[p] = best;
-    nn_pos[p] = best_q;
-  }
+  });
 
   // Greedy top-k selection of non-overlapping discords, best first.
   std::vector<size_t> order(candidates);

@@ -17,8 +17,14 @@ namespace gva {
 /// Distances may early-abandon internally, but — matching the paper's
 /// accounting — every non-self pair still costs one distance call, so the
 /// reported call count equals BruteForceCallCount() for top_k == 1.
+///
+/// `num_threads` parallelizes the outer candidate loop (0 = all hardware
+/// threads). Each candidate's nearest-neighbor scan is independent, so the
+/// result — positions, distances, and the call count — is bit-identical
+/// for every thread count.
 StatusOr<DiscordResult> FindDiscordsBruteForce(std::span<const double> series,
-                                               size_t window, size_t top_k);
+                                               size_t window, size_t top_k,
+                                               size_t num_threads = 1);
 
 /// Exact number of distance calls the brute-force search spends on a series
 /// of length `m` with window `n` (all ordered non-self pairs). The count is

@@ -53,7 +53,7 @@ SubsequenceDistance::MeanStd SubsequenceDistance::StatsOf(
 
 double SubsequenceDistance::Distance(size_t p, size_t q, size_t length,
                                      double limit) const {
-  ++calls_;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   GVA_DCHECK(p + length <= series_.size());
   GVA_DCHECK(q + length <= series_.size());
   const MeanStd sp = StatsOf(p, length);

@@ -1,6 +1,7 @@
 #ifndef GVA_DISCORD_DISTANCE_H_
 #define GVA_DISCORD_DISTANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -27,6 +28,13 @@ double ZNormEuclideanDistance(std::span<const double> a,
 /// — abandoned or not — increments the call counter, which is what the
 /// paper's Table 1 compares across algorithms ("number of calls to the
 /// distance function").
+///
+/// Thread safety: one instance may be shared by the parallel searches.
+/// Distance() is const and touches only immutable state plus the relaxed
+/// atomic call counter, so concurrent Distance() calls are race-free and
+/// the final calls() total is exact for any thread count (the interleaving
+/// of increments is not reproducible, but the sum is). ResetCalls() must
+/// not race with in-flight Distance() calls.
 class SubsequenceDistance {
  public:
   static constexpr double kInfinity = std::numeric_limits<double>::infinity();
@@ -42,8 +50,8 @@ class SubsequenceDistance {
                   double limit = kInfinity) const;
 
   /// Number of Distance() invocations so far.
-  uint64_t calls() const { return calls_; }
-  void ResetCalls() { calls_ = 0; }
+  uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  void ResetCalls() { calls_.store(0, std::memory_order_relaxed); }
 
   size_t series_length() const { return series_.size(); }
 
@@ -59,7 +67,7 @@ class SubsequenceDistance {
   double epsilon_;
   std::vector<double> prefix_;     // prefix_[i] = sum of series[0..i)
   std::vector<double> prefix_sq_;  // sums of squares
-  mutable uint64_t calls_ = 0;
+  mutable std::atomic<uint64_t> calls_{0};
 };
 
 }  // namespace gva

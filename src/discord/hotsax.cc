@@ -6,82 +6,100 @@
 #include <vector>
 
 #include "discord/distance.h"
+#include "discord/parallel_search.h"
 #include "timeseries/sliding_window.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace gva {
 
 namespace {
 
-/// One discord search round over the allowed candidates. Returns false when
-/// no candidate has a finite nearest-neighbor distance.
+/// One discord search round over the allowed candidates, parallelized over
+/// chunks of the outer ordering. Every candidate's inner scan is a prefix
+/// of a fixed visit order (bucket siblings, then the shared shuffle), cut
+/// short only by strict comparison against the shared best-so-far, so a
+/// candidate that completes its scan always yields the same (distance,
+/// neighbor) pair; the cross-chunk arg-max reduction then makes the round
+/// winner identical for every thread count. Returns false when no candidate
+/// has a finite nearest-neighbor distance.
 bool FindBestDiscord(const SubsequenceDistance& dist, size_t window,
                      const std::vector<size_t>& outer_order,
                      const std::unordered_map<std::string,
                                               std::vector<size_t>>& buckets,
                      const std::vector<const std::string*>& word_of,
                      const std::vector<size_t>& inner_random,
-                     const std::vector<bool>& excluded,
+                     const std::vector<char>& excluded, ThreadPool& pool,
                      DiscordRecord* best) {
-  double best_dist = -1.0;
-  size_t best_pos = 0;
-  size_t best_nn = 0;
+  SharedBestDistance shared_best;
+  std::vector<BestCandidate> chunk_best(pool.num_threads());
 
-  for (size_t p : outer_order) {
-    if (excluded[p]) {
-      continue;
-    }
-    double nn = SubsequenceDistance::kInfinity;
-    size_t nn_q = 0;
-    bool pruned = false;
+  pool.ParallelFor(0, outer_order.size(), [&](size_t chunk_begin,
+                                              size_t chunk_end,
+                                              size_t chunk) {
+    BestCandidate local;
+    for (size_t oi = chunk_begin; oi < chunk_end; ++oi) {
+      const size_t p = outer_order[oi];
+      if (excluded[p]) {
+        continue;
+      }
+      double nn = SubsequenceDistance::kInfinity;
+      size_t nn_q = 0;
+      bool pruned = false;
 
-    auto visit = [&](size_t q) {
-      if (IsSelfMatch(p, q, window)) {
+      auto visit = [&](size_t q) {
+        if (IsSelfMatch(p, q, window)) {
+          return true;
+        }
+        const double d = dist.Distance(p, q, window, nn);
+        if (d < nn) {
+          nn = d;
+          nn_q = q;
+          if (nn < shared_best.load()) {
+            pruned = true;  // p cannot beat the best-so-far discord
+            return false;
+          }
+        }
         return true;
-      }
-      const double d = dist.Distance(p, q, window, nn);
-      if (d < nn) {
-        nn = d;
-        nn_q = q;
-        if (nn < best_dist) {
-          pruned = true;  // p cannot beat the best-so-far discord
-          return false;
-        }
-      }
-      return true;
-    };
+      };
 
-    // Heuristic inner ordering: same-word positions first...
-    const std::vector<size_t>& same_word = buckets.at(*word_of[p]);
-    for (size_t q : same_word) {
-      if (q != p && !visit(q)) {
-        break;
-      }
-    }
-    // ... then everything else in (pre-shuffled) random order.
-    if (!pruned) {
-      for (size_t q : inner_random) {
-        if (*word_of[q] == *word_of[p]) {
-          continue;  // already visited through the bucket
-        }
-        if (!visit(q)) {
+      // Heuristic inner ordering: same-word positions first...
+      const std::vector<size_t>& same_word = buckets.at(*word_of[p]);
+      for (size_t q : same_word) {
+        if (q != p && !visit(q)) {
           break;
         }
       }
-    }
+      // ... then everything else in (pre-shuffled) random order.
+      if (!pruned) {
+        for (size_t q : inner_random) {
+          if (*word_of[q] == *word_of[p]) {
+            continue;  // already visited through the bucket
+          }
+          if (!visit(q)) {
+            break;
+          }
+        }
+      }
 
-    if (!pruned && nn != SubsequenceDistance::kInfinity && nn > best_dist) {
-      best_dist = nn;
-      best_pos = p;
-      best_nn = nn_q;
+      if (!pruned && nn != SubsequenceDistance::kInfinity) {
+        local.Consider(BestCandidate{nn, p, window, nn_q, -2, true});
+        shared_best.RaiseTo(nn);
+      }
     }
+    chunk_best[chunk] = local;
+  });
+
+  BestCandidate overall;
+  for (const BestCandidate& candidate : chunk_best) {
+    overall.Consider(candidate);
   }
-
-  if (best_dist < 0.0) {
+  if (!overall.valid) {
     return false;
   }
-  *best = DiscordRecord{best_pos, window, best_dist, best_nn, -2};
+  *best = DiscordRecord{overall.position, window, overall.distance,
+                        overall.nn_position, -2};
   return true;
 }
 
@@ -138,20 +156,24 @@ StatusOr<DiscordResult> FindDiscordsHotSax(std::span<const double> series,
   rng.Shuffle(inner_random);
 
   SubsequenceDistance dist(series);
-  std::vector<bool> excluded(candidates, false);
+  // Plain bytes instead of vector<bool>: chunk threads read it while only
+  // the sequential between-round code writes it, and the byte vector keeps
+  // those reads free of bit-packing proxies.
+  std::vector<char> excluded(candidates, 0);
+  ThreadPool pool(options.num_threads);
 
   DiscordResult result;
   for (size_t k = 0; k < options.top_k; ++k) {
     DiscordRecord best;
     if (!FindBestDiscord(dist, window, outer_order, buckets, word_of,
-                         inner_random, excluded, &best)) {
+                         inner_random, excluded, pool, &best)) {
       break;
     }
     result.discords.push_back(best);
     // Exclude the discord's self-match zone from future outer loops.
     for (size_t p = 0; p < candidates; ++p) {
       if (IsSelfMatch(p, best.position, window)) {
-        excluded[p] = true;
+        excluded[p] = 1;
       }
     }
   }

@@ -19,6 +19,10 @@ struct HotSaxOptions {
   size_t top_k = 1;
   /// Seed for the randomized portions of the outer/inner orderings.
   uint64_t seed = 0x5eedu;
+  /// Concurrency lanes for the outer candidate loop; 0 means all hardware
+  /// threads. Reported discords are bit-identical for every value; only
+  /// the distance-call count varies (pruning happens at different points).
+  size_t num_threads = 1;
 };
 
 /// HOTSAX fixed-length discord discovery — the paper's state-of-the-art

@@ -1,0 +1,71 @@
+#ifndef GVA_DISCORD_PARALLEL_SEARCH_H_
+#define GVA_DISCORD_PARALLEL_SEARCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gva {
+
+/// Monotonically increasing best-so-far discord distance shared by the
+/// threads of a parallel discord search. Threads prune a candidate as soon
+/// as its running nearest-neighbor distance drops strictly below the shared
+/// value. Because every pruning comparison is strict and the shared value
+/// never exceeds the round's final maximum, a candidate that ties or wins
+/// the round can never be pruned — which is what makes the reduction below
+/// thread-count-invariant.
+class SharedBestDistance {
+ public:
+  explicit SharedBestDistance(double initial = -1.0) : value_(initial) {}
+
+  double load() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Atomically raises the shared value to `candidate` if larger.
+  void RaiseTo(double candidate) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> value_;
+};
+
+/// Arg-max cell for the deterministic cross-chunk reduction of a search
+/// round. `Beats` is a total order — distance descending, then start
+/// position ascending, then length ascending — so folding any permutation
+/// of per-chunk winners yields the same overall winner regardless of chunk
+/// boundaries or completion order.
+struct BestCandidate {
+  double distance = -1.0;
+  size_t position = 0;
+  size_t length = 0;
+  size_t nn_position = 0;
+  int32_t rule = -2;
+  bool valid = false;
+
+  bool Beats(const BestCandidate& other) const {
+    if (!valid || !other.valid) {
+      return valid;
+    }
+    if (distance != other.distance) {
+      return distance > other.distance;
+    }
+    if (position != other.position) {
+      return position < other.position;
+    }
+    return length < other.length;
+  }
+
+  void Consider(const BestCandidate& other) {
+    if (other.Beats(*this)) {
+      *this = other;
+    }
+  }
+};
+
+}  // namespace gva
+
+#endif  // GVA_DISCORD_PARALLEL_SEARCH_H_

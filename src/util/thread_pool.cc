@@ -1,0 +1,93 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace gva {
+
+size_t ThreadPool::ResolveThreadCount(size_t requested) {
+  if (requested != 0) {
+    return std::min(requested, kMaxLanes);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t lanes = ResolveThreadCount(num_threads);
+  workers_.reserve(lanes - 1);
+  for (size_t i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to run
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t begin, size_t end,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  const size_t n = end - begin;
+  const size_t chunks = std::min(n, num_threads());
+  if (chunks == 1) {
+    body(begin, end, 0);
+    return;
+  }
+
+  // Contiguous chunks, remainder spread over the leading chunks.
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  auto chunk_begin = [&](size_t c) {
+    return begin + c * base + std::min(c, extra);
+  };
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = chunks - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t c = 1; c < chunks; ++c) {
+      queue_.emplace_back([&, c] {
+        body(chunk_begin(c), chunk_begin(c + 1), c);
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        if (--remaining == 0) {
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  wake_.notify_all();
+
+  body(chunk_begin(0), chunk_begin(1), 0);
+
+  std::unique_lock<std::mutex> done_lock(done_mu);
+  done_cv.wait(done_lock, [&] { return remaining == 0; });
+}
+
+}  // namespace gva

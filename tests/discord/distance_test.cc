@@ -1,6 +1,8 @@
 #include "discord/distance.h"
 
 #include <cmath>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -101,6 +103,108 @@ TEST(SubsequenceDistanceTest, SymmetricInArguments) {
     const size_t q = rng.UniformInt(series.size() - len + 1);
     EXPECT_NEAR(dist.Distance(p, q, len), dist.Distance(q, p, len), 1e-9);
   }
+}
+
+TEST(SubsequenceDistanceTest, FlatWindowsMatchZNormEuclideanDistance) {
+  // Both the convenience wrapper and the prefix-sum oracle must apply the
+  // same flat-window rule — mean-center without dividing when sd < epsilon
+  // — or rankings computed through one disagree with the other on
+  // near-constant data. Mix flat, near-flat (noise below epsilon), and
+  // oscillating windows to cover both sides of the threshold.
+  std::vector<double> series(260);
+  Rng rng(99);
+  for (size_t i = 0; i < 80; ++i) {
+    series[i] = 3.0;  // exactly flat
+  }
+  for (size_t i = 80; i < 160; ++i) {
+    series[i] = -1.0 + 0.001 * rng.Gaussian();  // flat up to sub-eps noise
+  }
+  for (size_t i = 160; i < 260; ++i) {
+    series[i] = std::sin(0.3 * static_cast<double>(i));
+  }
+  SubsequenceDistance dist(series);
+  const size_t len = 40;
+  const std::vector<std::pair<size_t, size_t>> pairs = {
+      {0, 40},    // flat vs flat
+      {0, 100},   // flat vs near-flat
+      {100, 20},  // near-flat vs flat
+      {10, 200},  // flat vs oscillating
+      {90, 210},  // near-flat vs oscillating
+      {170, 215}, // oscillating vs oscillating
+  };
+  for (const auto& [p, q] : pairs) {
+    const double fast = dist.Distance(p, q, len);
+    const double naive = ZNormEuclideanDistance(
+        std::span<const double>(series).subspan(p, len),
+        std::span<const double>(series).subspan(q, len));
+    EXPECT_NEAR(fast, naive, 1e-9) << "p=" << p << " q=" << q;
+  }
+}
+
+TEST(SubsequenceDistanceTest, FlatWindowEpsilonIsConfigurable) {
+  // With a tiny epsilon the near-flat window is z-normalized (noise blown
+  // up to unit variance); with the default it is only centered. The two
+  // oracles must disagree — this is what made the shared-epsilon bug in
+  // interval ranking observable.
+  std::vector<double> series(200, 0.0);
+  Rng rng(7);
+  for (size_t i = 0; i < 100; ++i) {
+    series[i] = 1.0 + 0.001 * rng.Gaussian();
+  }
+  for (size_t i = 100; i < 200; ++i) {
+    series[i] = std::sin(0.2 * static_cast<double>(i));
+  }
+  SubsequenceDistance centered(series);          // default epsilon = 0.01
+  SubsequenceDistance normalized(series, 1e-9);  // everything z-normalized
+  const double d_centered = centered.Distance(0, 120, 60);
+  const double d_normalized = normalized.Distance(0, 120, 60);
+  EXPECT_GT(std::abs(d_centered - d_normalized), 1e-3);
+}
+
+TEST(SubsequenceDistanceTest, AbandonsExactlyWhenTrueDistanceReachesLimit) {
+  // Early-abandon semantics, exhaustively over random pairs: Distance
+  // returns kInfinity iff the true distance >= limit, and otherwise the
+  // exact value. The limit only short-circuits; it never perturbs results.
+  std::vector<double> series = MakeSine(400, 31.0, 0.15, 23);
+  SubsequenceDistance dist(series);
+  Rng rng(41);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t len = 8 + rng.UniformInt(50);
+    const size_t p = rng.UniformInt(series.size() - len + 1);
+    const size_t q = rng.UniformInt(series.size() - len + 1);
+    const double truth = dist.Distance(p, q, len);
+    const double limit = truth * (0.25 + 1.5 * rng.UniformDouble()) + 1e-9;
+    const double limited = dist.Distance(p, q, len, limit);
+    if (truth >= limit) {
+      EXPECT_EQ(limited, SubsequenceDistance::kInfinity)
+          << "p=" << p << " q=" << q << " len=" << len;
+    } else {
+      EXPECT_EQ(limited, truth) << "p=" << p << " q=" << q << " len=" << len;
+    }
+  }
+}
+
+TEST(SubsequenceDistanceTest, CallCountIsExactUnderConcurrentUse) {
+  // The relaxed atomic counter must not lose increments when one oracle is
+  // shared by many threads — the invariant behind the paper's Table 1
+  // accounting in the parallel searches.
+  std::vector<double> series = MakeSine(500, 40.0, 0.1, 5);
+  SubsequenceDistance dist(series);
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dist, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        (void)dist.Distance((t * 7 + i) % 400, (i * 13) % 400, 50, 1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(dist.calls(),
+            static_cast<uint64_t>(kThreads) * kCallsPerThread);
 }
 
 TEST(SubsequenceDistanceTest, TriangleInequalityHolds) {

@@ -1,0 +1,197 @@
+// The parallel discord searches promise bit-identical results for every
+// thread count (DESIGN.md, "Concurrency model"): the shared best-so-far is
+// only ever compared strictly, so a tying-or-winning candidate is never
+// pruned, and the cross-chunk reduction uses a total order. These tests pin
+// that contract for all three engines on an ECG-like generated series —
+// periodic data with near-identical beats, exactly the regime where
+// distance ties make a sloppy reduction visibly nondeterministic.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rra.h"
+#include "datasets/ecg.h"
+#include "discord/brute_force.h"
+#include "discord/hotsax.h"
+#include "discord/parallel_search.h"
+
+namespace gva {
+namespace {
+
+TEST(BestCandidateTest, TotalOrderBreaksTiesByPositionThenLength) {
+  const BestCandidate far{2.0, 50, 10, 0, -2, true};
+  const BestCandidate near_low{1.0, 10, 10, 0, -2, true};
+  const BestCandidate near_high{1.0, 30, 10, 0, -2, true};
+  const BestCandidate near_low_short{1.0, 10, 5, 0, -2, true};
+  const BestCandidate invalid;
+
+  EXPECT_TRUE(far.Beats(near_low));
+  EXPECT_FALSE(near_low.Beats(far));
+  // Equal distance: the lowest start position wins, whatever order the
+  // chunks report in.
+  EXPECT_TRUE(near_low.Beats(near_high));
+  EXPECT_FALSE(near_high.Beats(near_low));
+  // Equal distance and position: the shorter interval wins.
+  EXPECT_TRUE(near_low_short.Beats(near_low));
+  // Anything valid beats the empty cell; the empty cell beats nothing.
+  EXPECT_TRUE(near_high.Beats(invalid));
+  EXPECT_FALSE(invalid.Beats(near_high));
+
+  // Folding in either order yields the same winner.
+  BestCandidate forward;
+  forward.Consider(near_high);
+  forward.Consider(near_low);
+  BestCandidate backward;
+  backward.Consider(near_low);
+  backward.Consider(near_high);
+  EXPECT_EQ(forward.position, 10u);
+  EXPECT_EQ(backward.position, 10u);
+}
+
+TEST(SharedBestDistanceTest, OnlyRises) {
+  SharedBestDistance best;
+  EXPECT_EQ(best.load(), -1.0);
+  best.RaiseTo(3.5);
+  EXPECT_EQ(best.load(), 3.5);
+  best.RaiseTo(2.0);  // lower: ignored
+  EXPECT_EQ(best.load(), 3.5);
+  best.RaiseTo(4.25);
+  EXPECT_EQ(best.load(), 4.25);
+}
+
+constexpr size_t kThreadCounts[] = {1, 2, 4};
+
+LabeledSeries EcgStrip(size_t beats) {
+  EcgOptions ecg;
+  ecg.num_beats = beats;
+  ecg.anomalous_beats = {beats / 2};
+  return MakeEcg(ecg);
+}
+
+void ExpectSameDiscords(const DiscordResult& base, const DiscordResult& other,
+                        size_t threads) {
+  ASSERT_EQ(base.discords.size(), other.discords.size())
+      << "threads=" << threads;
+  for (size_t i = 0; i < base.discords.size(); ++i) {
+    EXPECT_EQ(base.discords[i].position, other.discords[i].position)
+        << "threads=" << threads << " rank=" << i;
+    EXPECT_EQ(base.discords[i].length, other.discords[i].length)
+        << "threads=" << threads << " rank=" << i;
+    // Bit-identical, not just close: every engine computes the winning
+    // candidate's distance with the same sequence of IEEE operations
+    // regardless of the thread count.
+    EXPECT_EQ(base.discords[i].distance, other.discords[i].distance)
+        << "threads=" << threads << " rank=" << i;
+    EXPECT_EQ(base.discords[i].nn_position, other.discords[i].nn_position)
+        << "threads=" << threads << " rank=" << i;
+    EXPECT_EQ(base.discords[i].rule, other.discords[i].rule)
+        << "threads=" << threads << " rank=" << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, BruteForceIsBitIdenticalAcrossThreadCounts) {
+  LabeledSeries data = EcgStrip(24);
+  auto base = FindDiscordsBruteForce(data.series, 100, 3, 1);
+  ASSERT_TRUE(base.ok());
+  ASSERT_FALSE(base->discords.empty());
+  for (size_t threads : kThreadCounts) {
+    auto run = FindDiscordsBruteForce(data.series, 100, 3, threads);
+    ASSERT_TRUE(run.ok());
+    ExpectSameDiscords(*base, *run, threads);
+    // Brute force never prunes against a shared best, so even the call
+    // count is invariant.
+    EXPECT_EQ(run->distance_calls, base->distance_calls)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, HotSaxIsBitIdenticalAcrossThreadCounts) {
+  LabeledSeries data = EcgStrip(40);
+  HotSaxOptions options;
+  options.sax.window = 120;
+  options.sax.paa_size = 6;
+  options.sax.alphabet_size = 4;
+  options.top_k = 3;
+  options.num_threads = 1;
+  auto base = FindDiscordsHotSax(data.series, options);
+  ASSERT_TRUE(base.ok());
+  ASSERT_FALSE(base->discords.empty());
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    auto run = FindDiscordsHotSax(data.series, options);
+    ASSERT_TRUE(run.ok());
+    ExpectSameDiscords(*base, *run, threads);
+  }
+}
+
+TEST(ParallelDeterminismTest, RraIsBitIdenticalAcrossThreadCounts) {
+  LabeledSeries data = EcgStrip(40);
+  RraOptions options;
+  options.sax.window = 120;
+  options.sax.paa_size = 6;
+  options.sax.alphabet_size = 4;
+  options.top_k = 3;
+  options.num_threads = 1;
+  auto base = FindRraDiscords(data.series, options);
+  ASSERT_TRUE(base.ok());
+  ASSERT_FALSE(base->result.discords.empty());
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    auto run = FindRraDiscords(data.series, options);
+    ASSERT_TRUE(run.ok());
+    ExpectSameDiscords(base->result, run->result, threads);
+  }
+}
+
+TEST(ParallelDeterminismTest, RraApproximateModeIsAlsoDeterministic) {
+  // The cheaper interval-aligned mode shares the same round structure and
+  // cache discipline; it must honor the same contract.
+  LabeledSeries data = EcgStrip(40);
+  RraOptions options;
+  options.sax.window = 120;
+  options.sax.paa_size = 6;
+  options.sax.alphabet_size = 4;
+  options.top_k = 2;
+  options.exact_nearest_neighbor = false;
+  options.num_threads = 1;
+  auto base = FindRraDiscords(data.series, options);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    auto run = FindRraDiscords(data.series, options);
+    ASSERT_TRUE(run.ok());
+    ExpectSameDiscords(base->result, run->result, threads);
+  }
+}
+
+TEST(ParallelDeterminismTest, ZeroMeansHardwareConcurrencyAndStillMatches) {
+  LabeledSeries data = EcgStrip(24);
+  auto base = FindDiscordsBruteForce(data.series, 100, 2, 1);
+  auto all_cores = FindDiscordsBruteForce(data.series, 100, 2, 0);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(all_cores.ok());
+  ExpectSameDiscords(*base, *all_cores, 0);
+}
+
+TEST(ParallelDeterminismTest, ParallelHotSaxStillMatchesBruteForceDiscord) {
+  // Exactness survives parallelization: the top HOTSAX discord is the
+  // brute-force discord, whatever the thread count.
+  LabeledSeries data = EcgStrip(24);
+  auto brute = FindDiscordsBruteForce(data.series, 120, 1, 2);
+  HotSaxOptions options;
+  options.sax.window = 120;
+  options.sax.paa_size = 6;
+  options.sax.alphabet_size = 4;
+  options.num_threads = 4;
+  auto hot = FindDiscordsHotSax(data.series, options);
+  ASSERT_TRUE(brute.ok());
+  ASSERT_TRUE(hot.ok());
+  ASSERT_FALSE(brute->discords.empty());
+  ASSERT_FALSE(hot->discords.empty());
+  EXPECT_EQ(hot->discords[0].position, brute->discords[0].position);
+  EXPECT_DOUBLE_EQ(hot->discords[0].distance, brute->discords[0].distance);
+}
+
+}  // namespace
+}  // namespace gva

@@ -1,0 +1,134 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gva {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCountMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7u);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountClampsAbsurdRequests) {
+  // A "-1" that went through an unsigned parse must not translate into an
+  // attempt to spawn SIZE_MAX workers.
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(ThreadPool::kMaxLanes),
+            ThreadPool::kMaxLanes);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(ThreadPool::kMaxLanes + 1),
+            ThreadPool::kMaxLanes);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(static_cast<size_t>(-1)),
+            ThreadPool::kMaxLanes);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 3u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(101);
+    for (auto& h : hits) {
+      h.store(0);
+    }
+    pool.ParallelFor(0, hits.size(),
+                     [&](size_t begin, size_t end, size_t /*chunk*/) {
+                       for (size_t i = begin; i < end; ++i) {
+                         hits[i].fetch_add(1);
+                       }
+                     });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkIndicesAreDistinctAndBounded) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<size_t> seen;
+  pool.ParallelFor(10, 90, [&](size_t begin, size_t end, size_t chunk) {
+    EXPECT_LT(begin, end);
+    EXPECT_LT(chunk, pool.num_threads());
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(chunk);
+  });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t, size_t, size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, RangeSmallerThanLanesStillCovers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  pool.ParallelFor(0, hits.size(),
+                   [&](size_t begin, size_t end, size_t /*chunk*/) {
+                     for (size_t i = begin; i < end; ++i) {
+                       hits[i].fetch_add(1);
+                     }
+                   });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRounds) {
+  // The searches reuse one pool for every top-k round; sums must stay
+  // correct when ParallelFor is invoked repeatedly on the same pool.
+  ThreadPool pool(3);
+  std::vector<uint64_t> values(1000);
+  std::iota(values.begin(), values.end(), 0);
+  const uint64_t expected = 1000ull * 999ull / 2;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(0, values.size(),
+                     [&](size_t begin, size_t end, size_t /*chunk*/) {
+                       uint64_t local = 0;
+                       for (size_t i = begin; i < end; ++i) {
+                         local += values[i];
+                       }
+                       sum.fetch_add(local);
+                     });
+    ASSERT_EQ(sum.load(), expected) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, JoinPublishesChunkWrites) {
+  // ParallelFor must give the caller a happens-before edge over worker
+  // writes: plain (non-atomic) writes to disjoint slices are visible after
+  // the call returns. This is the access pattern of the brute-force search.
+  ThreadPool pool(4);
+  std::vector<double> out(4096, -1.0);
+  pool.ParallelFor(0, out.size(),
+                   [&](size_t begin, size_t end, size_t /*chunk*/) {
+                     for (size_t i = begin; i < end; ++i) {
+                       out[i] = static_cast<double>(i) * 0.5;
+                     }
+                   });
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace gva
