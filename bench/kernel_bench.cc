@@ -1,0 +1,381 @@
+// Hot-path kernel benchmark: incremental prefix-sum SAX discretization and
+// the blocked-abandon distance kernel, each measured against an inline
+// reimplementation of the pre-overhaul kernel (naive per-window
+// z-normalize + PAA; scalar per-element-abandon distance loop). Exactness
+// is CHECKed on every configuration — byte-identical SAX records, matching
+// distances and abandon decisions — and the timings are emitted as
+// machine-readable JSON (default BENCH_kernels.json) so later PRs have a
+// perf trajectory to compare against.
+//
+//   kernel_bench [--smoke] [--out PATH]
+//
+// --smoke runs a seconds-scale configuration and skips the JSON (unless
+// --out is given): it is wired into ctest under the `perf-smoke` label to
+// assert exactness, not speed, so the binary cannot bit-rot.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datasets/ecg.h"
+#include "datasets/simple.h"
+#include "discord/distance.h"
+#include "sax/mindist.h"
+#include "sax/sax_transform.h"
+#include "timeseries/sliding_window.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace gva {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pre-overhaul reference kernels ("before" side of the measurement).
+
+/// The old Discretize: one full O(w) z-normalize + PAA per window.
+SaxRecords NaiveDiscretize(std::span<const double> series,
+                           const SaxOptions& opts,
+                           NumerosityReduction numerosity) {
+  const NormalAlphabet alphabet(opts.alphabet_size);
+  const size_t windows = NumSlidingWindows(series.size(), opts.window);
+  SaxRecords records;
+  records.words.reserve(windows);
+  records.offsets.reserve(windows);
+  for (size_t pos = 0; pos < windows; ++pos) {
+    std::string word =
+        SaxWordForWindow(WindowAt(series, pos, opts.window), opts, alphabet);
+    bool keep = true;
+    if (!records.words.empty()) {
+      const std::string& prev = records.words.back();
+      switch (numerosity) {
+        case NumerosityReduction::kNone:
+          break;
+        case NumerosityReduction::kExact:
+          keep = (word != prev);
+          break;
+        case NumerosityReduction::kMinDist:
+          keep = !MinDistIsZero(word, prev, alphabet);
+          break;
+      }
+    }
+    if (keep) {
+      records.words.push_back(std::move(word));
+      records.offsets.push_back(pos);
+    }
+  }
+  return records;
+}
+
+/// The old SubsequenceDistance::Distance: scalar loop, per-element abandon.
+class ScalarReferenceDistance {
+ public:
+  explicit ScalarReferenceDistance(std::span<const double> series,
+                                   double epsilon = kDefaultZNormEpsilon)
+      : series_(series), epsilon_(epsilon) {
+    prefix_.resize(series.size() + 1);
+    prefix_sq_.resize(series.size() + 1);
+    prefix_[0] = 0.0;
+    prefix_sq_[0] = 0.0;
+    for (size_t i = 0; i < series.size(); ++i) {
+      prefix_[i + 1] = prefix_[i] + series[i];
+      prefix_sq_[i + 1] = prefix_sq_[i] + series[i] * series[i];
+    }
+  }
+
+  double Distance(size_t p, size_t q, size_t length,
+                  double limit = SubsequenceDistance::kInfinity) const {
+    const auto [mean_p, inv_p] = StatsOf(p, length);
+    const auto [mean_q, inv_q] = StatsOf(q, length);
+    const double limit_sq =
+        limit == SubsequenceDistance::kInfinity ? limit : limit * limit;
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < length; ++i) {
+      const double va = (series_[p + i] - mean_p) * inv_p;
+      const double vb = (series_[q + i] - mean_q) * inv_q;
+      const double d = va - vb;
+      sum_sq += d * d;
+      if (sum_sq >= limit_sq) {
+        return SubsequenceDistance::kInfinity;
+      }
+    }
+    return std::sqrt(sum_sq);
+  }
+
+ private:
+  std::pair<double, double> StatsOf(size_t pos, size_t length) const {
+    const double n = static_cast<double>(length);
+    const double mean = (prefix_[pos + length] - prefix_[pos]) / n;
+    double variance =
+        (prefix_sq_[pos + length] - prefix_sq_[pos]) / n - mean * mean;
+    if (variance < 0.0) {
+      variance = 0.0;
+    }
+    const double sd = std::sqrt(variance);
+    return {mean, sd < epsilon_ ? 1.0 : 1.0 / sd};
+  }
+
+  std::span<const double> series_;
+  double epsilon_;
+  std::vector<double> prefix_;
+  std::vector<double> prefix_sq_;
+};
+
+// ---------------------------------------------------------------------------
+// Timing helpers.
+
+/// Best-of-`reps` wall time of `fn`, in seconds. Best-of suppresses
+/// scheduling noise, which matters on the single-CPU containers this runs
+/// in.
+double BestOf(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+struct KernelRow {
+  std::string name;
+  std::string detail;
+  double baseline_s = 0.0;
+  double kernel_s = 0.0;
+  double units = 0.0;  // items processed per run (points or elements)
+
+  double Speedup() const { return baseline_s / kernel_s; }
+};
+
+void PrintRow(const KernelRow& row) {
+  std::printf("%-28s %-30s baseline %9.4fs  kernel %9.4fs  speedup %6.2fx\n",
+              row.name.c_str(), row.detail.c_str(), row.baseline_s,
+              row.kernel_s, row.Speedup());
+}
+
+std::string JsonRow(const KernelRow& row) {
+  return StrFormat(
+      "    {\"name\": \"%s\", \"detail\": \"%s\", \"baseline_s\": %.6f, "
+      "\"kernel_s\": %.6f, \"speedup\": %.3f, \"baseline_items_per_s\": "
+      "%.0f, \"kernel_items_per_s\": %.0f}",
+      row.name.c_str(), row.detail.c_str(), row.baseline_s, row.kernel_s,
+      row.Speedup(), row.units / row.baseline_s, row.units / row.kernel_s);
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark stages.
+
+KernelRow BenchDiscretize(const std::string& name,
+                          std::span<const double> series,
+                          const SaxOptions& opts, int reps) {
+  // Exactness first: the incremental kernel must be byte-identical to the
+  // reference on this exact configuration.
+  const SaxRecords naive = NaiveDiscretize(series, opts, opts.numerosity);
+  const auto fast = Discretize(series, opts);
+  bench::Check(fast.ok(), name + ": incremental Discretize succeeds");
+  if (fast.ok()) {
+    bench::Check(fast->words == naive.words && fast->offsets == naive.offsets,
+                 name + ": SAX records byte-identical to naive reference");
+  }
+
+  KernelRow row;
+  row.name = "discretize/" + name;
+  row.detail = StrFormat("n=%zu w=%zu paa=%zu a=%zu", series.size(),
+                         opts.window, opts.paa_size, opts.alphabet_size);
+  row.units = static_cast<double>(series.size());
+  row.baseline_s = BestOf(reps, [&] {
+    const SaxRecords r = NaiveDiscretize(series, opts, opts.numerosity);
+    if (r.words.empty()) {
+      std::abort();  // keep the optimizer honest
+    }
+  });
+  row.kernel_s = BestOf(reps, [&] {
+    const auto r = Discretize(series, opts);
+    if (!r.ok() || r->words.empty()) {
+      std::abort();
+    }
+  });
+  return row;
+}
+
+KernelRow BenchDistance(const std::string& name,
+                        std::span<const double> series, size_t length,
+                        size_t calls, bool abandoning, int reps) {
+  SubsequenceDistance dist(series);
+  ScalarReferenceDistance ref(series);
+
+  // Pair list shared by both kernels; limits chosen from the true distance
+  // so the abandoning variant abandons roughly half the calls.
+  Rng rng(12345);
+  std::vector<size_t> ps(calls);
+  std::vector<size_t> qs(calls);
+  std::vector<double> limits(calls, SubsequenceDistance::kInfinity);
+  for (size_t i = 0; i < calls; ++i) {
+    ps[i] = rng.UniformInt(series.size() - length + 1);
+    qs[i] = rng.UniformInt(series.size() - length + 1);
+    if (abandoning) {
+      const double truth = ref.Distance(ps[i], qs[i], length);
+      limits[i] = truth * (0.5 + rng.UniformDouble());
+    }
+  }
+
+  // Exactness: identical values, identical abandon decisions.
+  bool exact = true;
+  for (size_t i = 0; i < calls; ++i) {
+    const double a = dist.Distance(ps[i], qs[i], length, limits[i]);
+    const double b = ref.Distance(ps[i], qs[i], length, limits[i]);
+    if (a == SubsequenceDistance::kInfinity ||
+        b == SubsequenceDistance::kInfinity) {
+      exact = exact && (a == b);
+    } else {
+      exact = exact && std::abs(a - b) <= 1e-9;
+    }
+  }
+  bench::Check(exact, name + ": blocked kernel matches scalar reference (" +
+                          std::string(abandoning ? "abandoning" : "full") +
+                          ")");
+
+  KernelRow row;
+  row.name = "distance/" + name;
+  row.detail = StrFormat("len=%zu calls=%zu %s", length, calls,
+                         abandoning ? "abandoning" : "full");
+  row.units = static_cast<double>(calls) * static_cast<double>(length);
+  double sink = 0.0;
+  row.baseline_s = BestOf(reps, [&] {
+    for (size_t i = 0; i < calls; ++i) {
+      const double d = ref.Distance(ps[i], qs[i], length, limits[i]);
+      if (d != SubsequenceDistance::kInfinity) {
+        sink += d;
+      }
+    }
+  });
+  row.kernel_s = BestOf(reps, [&] {
+    for (size_t i = 0; i < calls; ++i) {
+      const double d = dist.Distance(ps[i], qs[i], length, limits[i]);
+      if (d != SubsequenceDistance::kInfinity) {
+        sink += d;
+      }
+    }
+  });
+  if (sink == 1e300) {  // never true; defeats dead-code elimination
+    std::abort();
+  }
+  return row;
+}
+
+int Run(bool smoke, const std::string& out_path) {
+  bench::Header(smoke ? "Kernel bench (smoke)" : "Kernel bench");
+
+  std::vector<KernelRow> rows;
+  if (smoke) {
+    const std::vector<double> sine = MakeSine(3000, 50.0, 0.05, 3);
+    SaxOptions opts;
+    opts.window = 60;
+    opts.paa_size = 5;
+    opts.alphabet_size = 4;
+    rows.push_back(BenchDiscretize("sine_3k", sine, opts, 1));
+    SaxOptions ragged = opts;
+    ragged.window = 37;  // non-divisible geometry
+    ragged.paa_size = 5;
+    rows.push_back(BenchDiscretize("sine_3k_ragged", sine, ragged, 1));
+    rows.push_back(BenchDistance("sine_3k", sine, 64, 2000, false, 1));
+    rows.push_back(BenchDistance("sine_3k", sine, 64, 2000, true, 1));
+  } else {
+    // The acceptance configuration: 100k points, w=180, paa=6, a=4.
+    const std::vector<double> sine = MakeSine(100000, 200.0, 0.05, 3);
+    SaxOptions opts;
+    opts.window = 180;
+    opts.paa_size = 6;
+    opts.alphabet_size = 4;
+    rows.push_back(BenchDiscretize("sine_100k", sine, opts, 3));
+
+    SaxOptions all_windows = opts;
+    all_windows.numerosity = NumerosityReduction::kNone;
+    rows.push_back(BenchDiscretize("sine_100k_allwin", sine, all_windows, 3));
+
+    EcgOptions ecg_opts;
+    ecg_opts.num_beats = 180;  // ~21.6k points
+    const LabeledSeries ecg = MakeEcg(ecg_opts);
+    SaxOptions ecg_sax;
+    ecg_sax.window = 120;
+    ecg_sax.paa_size = 4;
+    ecg_sax.alphabet_size = 4;
+    rows.push_back(BenchDiscretize("ecg", ecg.series, ecg_sax, 3));
+
+    rows.push_back(BenchDistance("sine_100k", sine, 180, 20000, false, 3));
+    rows.push_back(BenchDistance("sine_100k", sine, 180, 20000, true, 3));
+    rows.push_back(BenchDistance("sine_100k_long", sine, 1024, 5000, false, 3));
+    rows.push_back(BenchDistance("ecg", ecg.series, 120, 20000, false, 3));
+  }
+
+  std::printf("\n");
+  for (const KernelRow& row : rows) {
+    PrintRow(row);
+  }
+
+  // The headline acceptance number: incremental discretization must be at
+  // least 3x the pre-overhaul implementation on the 100k configuration.
+  if (!smoke) {
+    bench::Check(rows[0].Speedup() >= 3.0,
+                 StrFormat("discretize/sine_100k speedup %.2fx >= 3x",
+                           rows[0].Speedup()));
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::string json = "{\n  \"bench\": \"kernel_bench\",\n";
+    json += StrFormat("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    json += StrFormat("  \"block_size\": %zu,\n",
+                      SubsequenceDistance::kBlock);
+    json +=
+        "  \"note\": \"baseline = pre-overhaul kernels (naive per-window "
+        "z-norm+PAA discretization; scalar per-element-abandon distance), "
+        "reimplemented in-binary; kernel = incremental prefix-sum "
+        "discretization / blocked-abandon distance. items = series points "
+        "(discretize) or accumulated elements (distance).\",\n";
+    json += "  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      json += JsonRow(rows[i]);
+      json += i + 1 < rows.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  return bench::CheckExitCode();
+}
+
+}  // namespace
+}  // namespace gva
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_kernels.json";
+  bool out_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+      out_set = true;
+    } else {
+      std::printf("usage: kernel_bench [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+  if (smoke && !out_set) {
+    out_path.clear();  // smoke mode asserts exactness; no JSON by default
+  }
+  return gva::Run(smoke, out_path);
+}

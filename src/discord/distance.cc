@@ -2,9 +2,30 @@
 
 #include <cmath>
 
+#include "timeseries/stats.h"
 #include "util/check.h"
 
 namespace gva {
+
+namespace {
+
+/// Writes the squared z-normalized differences of a[0..count) and
+/// b[0..count) into out[0..count). Branch-free with independent iterations,
+/// so the compiler can vectorize it; the caller folds `out` into its
+/// running sum left-to-right, which keeps the overall summation order
+/// identical to the scalar kernel's.
+inline void SquaredDiffBlock(const double* a, const double* b, size_t count,
+                             double mean_a, double inv_a, double mean_b,
+                             double inv_b, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const double va = (a[i] - mean_a) * inv_a;
+    const double vb = (b[i] - mean_b) * inv_b;
+    const double d = va - vb;
+    out[i] = d * d;
+  }
+}
+
+}  // namespace
 
 double EuclideanDistance(std::span<const double> a,
                          std::span<const double> b) {
@@ -19,36 +40,36 @@ double EuclideanDistance(std::span<const double> a,
 
 double ZNormEuclideanDistance(std::span<const double> a,
                               std::span<const double> b, double epsilon) {
-  return EuclideanDistance(ZNormalized(a, epsilon), ZNormalized(b, epsilon));
+  GVA_CHECK_EQ(a.size(), b.size());
+  const double mean_a = Mean(a);
+  const double sd_a = StdDev(a);
+  const double mean_b = Mean(b);
+  const double sd_b = StdDev(b);
+  // Flat windows are only mean-centered; multiplying by exactly 1.0 keeps
+  // the arithmetic identical to ZNormalize's centering-only branch.
+  const double inv_a = sd_a < epsilon ? 1.0 : 1.0 / sd_a;
+  const double inv_b = sd_b < epsilon ? 1.0 : 1.0 / sd_b;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double va = (a[i] - mean_a) * inv_a;
+    const double vb = (b[i] - mean_b) * inv_b;
+    const double d = va - vb;
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq);
 }
 
 SubsequenceDistance::SubsequenceDistance(std::span<const double> series,
                                          double znorm_epsilon)
-    : series_(series), epsilon_(znorm_epsilon) {
-  prefix_.resize(series.size() + 1);
-  prefix_sq_.resize(series.size() + 1);
-  prefix_[0] = 0.0;
-  prefix_sq_[0] = 0.0;
-  for (size_t i = 0; i < series.size(); ++i) {
-    prefix_[i + 1] = prefix_[i] + series[i];
-    prefix_sq_[i + 1] = prefix_sq_[i] + series[i] * series[i];
-  }
-}
+    : series_(series), epsilon_(znorm_epsilon), stats_(series) {}
 
 SubsequenceDistance::MeanStd SubsequenceDistance::StatsOf(
     size_t pos, size_t length) const {
   GVA_DCHECK(length > 0);
   GVA_DCHECK(pos + length <= series_.size());
-  const double n = static_cast<double>(length);
-  const double sum = prefix_[pos + length] - prefix_[pos];
-  const double sum_sq = prefix_sq_[pos + length] - prefix_sq_[pos];
-  const double mean = sum / n;
-  double variance = sum_sq / n - mean * mean;
-  if (variance < 0.0) {  // numerical noise
-    variance = 0.0;
-  }
-  const double sd = std::sqrt(variance);
-  return MeanStd{mean, sd < epsilon_ ? 1.0 : 1.0 / sd};
+  const RollingStats::Moments m = stats_.MomentsOf(pos, length);
+  const double sd = std::sqrt(m.variance);
+  return MeanStd{m.mean, sd < epsilon_ ? 1.0 : 1.0 / sd};
 }
 
 double SubsequenceDistance::Distance(size_t p, size_t q, size_t length,
@@ -58,19 +79,53 @@ double SubsequenceDistance::Distance(size_t p, size_t q, size_t length,
   GVA_DCHECK(q + length <= series_.size());
   const MeanStd sp = StatsOf(p, length);
   const MeanStd sq = StatsOf(q, length);
-  const double limit_sq =
-      limit == kInfinity ? kInfinity : limit * limit;
-  double sum_sq = 0.0;
   const double* a = series_.data() + p;
   const double* b = series_.data() + q;
-  for (size_t i = 0; i < length; ++i) {
-    const double va = (a[i] - sp.mean) * sp.inv_std;
-    const double vb = (b[i] - sq.mean) * sq.inv_std;
-    const double d = va - vb;
-    sum_sq += d * d;
+  double block[kBlock];
+  double sum_sq = 0.0;
+  size_t i = 0;
+
+  if (limit == kInfinity) {
+    // Full-length fast path: no abandon checks at all.
+    for (; i + kBlock <= length; i += kBlock) {
+      SquaredDiffBlock(a + i, b + i, kBlock, sp.mean, sp.inv_std, sq.mean,
+                       sq.inv_std, block);
+      for (size_t j = 0; j < kBlock; ++j) {
+        sum_sq += block[j];
+      }
+    }
+    const size_t tail = length - i;
+    SquaredDiffBlock(a + i, b + i, tail, sp.mean, sp.inv_std, sq.mean,
+                     sq.inv_std, block);
+    for (size_t j = 0; j < tail; ++j) {
+      sum_sq += block[j];
+    }
+    return std::sqrt(sum_sq);
+  }
+
+  // Abandoning path: the limit is checked once per block. The squared
+  // terms are non-negative, so the running sum is monotone and the
+  // block-granular check abandons exactly the calls a per-element check
+  // would (possibly a few elements later).
+  const double limit_sq = limit * limit;
+  for (; i + kBlock <= length; i += kBlock) {
+    SquaredDiffBlock(a + i, b + i, kBlock, sp.mean, sp.inv_std, sq.mean,
+                     sq.inv_std, block);
+    for (size_t j = 0; j < kBlock; ++j) {
+      sum_sq += block[j];
+    }
     if (sum_sq >= limit_sq) {
       return kInfinity;
     }
+  }
+  const size_t tail = length - i;
+  SquaredDiffBlock(a + i, b + i, tail, sp.mean, sp.inv_std, sq.mean,
+                   sq.inv_std, block);
+  for (size_t j = 0; j < tail; ++j) {
+    sum_sq += block[j];
+  }
+  if (sum_sq >= limit_sq) {
+    return kInfinity;
   }
   return std::sqrt(sum_sq);
 }

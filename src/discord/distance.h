@@ -5,8 +5,8 @@
 #include <cstdint>
 #include <limits>
 #include <span>
-#include <vector>
 
+#include "timeseries/rolling_stats.h"
 #include "timeseries/znorm.h"
 
 namespace gva {
@@ -15,19 +15,34 @@ namespace gva {
 double EuclideanDistance(std::span<const double> a, std::span<const double> b);
 
 /// Euclidean distance between the z-normalized forms of `a` and `b`.
-/// Convenience wrapper used by tests; the hot path lives in
-/// SubsequenceDistance.
+/// Allocation-free: the z-normalized values are fused into the accumulation
+/// loop instead of being materialized (but the arithmetic — mean, standard
+/// deviation, flat-window centering, per-element normalize-subtract-square
+/// — is exactly the ZNormalize + EuclideanDistance composition, so results
+/// are unchanged). Convenience wrapper used by tests and diagnostics; the
+/// hot path lives in SubsequenceDistance.
 double ZNormEuclideanDistance(std::span<const double> a,
                               std::span<const double> b,
                               double epsilon = kDefaultZNormEpsilon);
 
 /// Distance oracle over one time series. Window means and standard
-/// deviations are derived from prefix sums in O(1) per window, so a distance
-/// between any two equal-length subsequences costs one fused
-/// normalize-and-accumulate loop with optional early abandoning. Every call
-/// — abandoned or not — increments the call counter, which is what the
-/// paper's Table 1 compares across algorithms ("number of calls to the
-/// distance function").
+/// deviations are derived from a shared RollingStats prefix-sum table in
+/// O(1) per window, so a distance between any two equal-length subsequences
+/// costs one fused normalize-and-accumulate pass with optional early
+/// abandoning. Every call — abandoned or not — increments the call counter,
+/// which is what the paper's Table 1 compares across algorithms ("number of
+/// calls to the distance function").
+///
+/// Kernel structure (see DESIGN.md, "Kernel layer"): the pass is blocked.
+/// Each block of kBlock elements is normalized, differenced, and squared
+/// into a local buffer by a branch-free loop the compiler can vectorize;
+/// the buffer is then folded into the running sum in strict left-to-right
+/// order and the abandon limit is checked once per block. Because squared
+/// terms are non-negative the running sum is monotone, so checking at block
+/// granularity abandons exactly the calls a per-element check would — and
+/// the preserved summation order keeps non-abandoned results bit-identical
+/// to the scalar kernel's. When `limit == kInfinity` an unconditional
+/// full-length path skips the limit checks entirely.
 ///
 /// Thread safety: one instance may be shared by the parallel searches.
 /// Distance() is const and touches only immutable state plus the relaxed
@@ -38,6 +53,11 @@ double ZNormEuclideanDistance(std::span<const double> a,
 class SubsequenceDistance {
  public:
   static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Elements per abandon-check block. Wide enough to amortize the limit
+  /// check and fill SIMD lanes, small enough that an abandoned call does
+  /// at most kBlock - 1 elements of extra work versus a per-element check.
+  static constexpr size_t kBlock = 16;
 
   explicit SubsequenceDistance(std::span<const double> series,
                                double znorm_epsilon = kDefaultZNormEpsilon);
@@ -65,8 +85,7 @@ class SubsequenceDistance {
 
   std::span<const double> series_;
   double epsilon_;
-  std::vector<double> prefix_;     // prefix_[i] = sum of series[0..i)
-  std::vector<double> prefix_sq_;  // sums of squares
+  RollingStats stats_;
   mutable std::atomic<uint64_t> calls_{0};
 };
 

@@ -1,7 +1,12 @@
 #include "sax/sax_transform.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "sax/mindist.h"
 #include "sax/paa.h"
+#include "timeseries/rolling_stats.h"
 #include "timeseries/sliding_window.h"
 #include "util/strings.h"
 
@@ -47,6 +52,181 @@ std::string SaxWordForWindow(std::span<const double> window,
 
 namespace {
 
+constexpr double kMachEps = std::numeric_limits<double>::epsilon();
+
+/// Incremental per-window discretization state shared across all window
+/// positions: the series prefix sums plus the per-segment PAA geometry,
+/// which depends only on (window, paa_size) and is precomputed once.
+///
+/// The kernel computes each z-space PAA value algebraically from raw-value
+/// range sums — for segment mean s, window mean mu and stddev sigma the
+/// z-normalized PAA value is (s - mu) / sigma — instead of materializing
+/// the z-normalized window and averaging it the way the reference path
+/// (SaxWordForWindow) does. The two orderings agree only up to rounding
+/// noise, so every *decision* (flat-vs-normalized window, value-vs-
+/// breakpoint) is guarded by a conservative error bound; a window whose
+/// decision falls inside the bound is recomputed through the reference
+/// path. That keeps the output byte-identical to the reference for every
+/// input while the guard virtually never fires on real data (the bound is
+/// orders of magnitude below typical breakpoint clearances).
+class IncrementalDiscretizer {
+ public:
+  IncrementalDiscretizer(std::span<const double> series,
+                         const SaxOptions& opts,
+                         const NormalAlphabet& alphabet)
+      : series_(series),
+        stats_(series),
+        opts_(opts),
+        alphabet_(alphabet),
+        window_(opts.window),
+        paa_(opts.paa_size),
+        divisible_(opts.window % opts.paa_size == 0),
+        step_(opts.window / opts.paa_size) {
+    if (!divisible_) {
+      const double dn = static_cast<double>(window_);
+      const double w = static_cast<double>(paa_);
+      segments_.reserve(paa_);
+      for (size_t j = 0; j < paa_; ++j) {
+        Segment seg;
+        seg.lo = static_cast<double>(j) * dn / w;
+        seg.hi = static_cast<double>(j + 1) * dn / w;
+        seg.first = static_cast<size_t>(std::floor(seg.lo));
+        seg.last = static_cast<size_t>(std::floor(seg.hi));
+        segments_.push_back(seg);
+      }
+    }
+  }
+
+  /// Computes the SAX word of the window at `pos` into `word` (which must
+  /// have length paa_size). Falls back to the reference path internally
+  /// when a guard fires, so the result is always byte-identical to
+  /// SaxWordForWindow on the same window.
+  void WordAt(size_t pos, std::string& word) {
+    if (!FastWordAt(pos, word)) {
+      word = SaxWordForWindow(WindowAt(series_, pos, window_), opts_,
+                              alphabet_);
+    }
+  }
+
+ private:
+  struct Segment {
+    double lo;
+    double hi;
+    size_t first;  // floor(lo): index of the first (possibly partial) sample
+    size_t last;   // floor(hi): index one past the last full sample
+  };
+
+  /// Weighted raw-value sum of the fractional segment `seg` of the window
+  /// at `pos`, mirroring the exact-PAA overlap weights of Paa(). `*err`
+  /// receives a bound on the sum's divergence from naive summation, built
+  /// from the prefix endpoints and boundary samples actually used.
+  double FractionalSegmentSum(size_t pos, const Segment& seg,
+                              double* err) const {
+    const double x_first = series_[pos + seg.first];
+    // Segment contained in a single sample.
+    if (seg.last <= seg.first) {
+      *err = 4.0 * kMachEps * std::abs(x_first);
+      return (seg.hi - seg.lo) * x_first;
+    }
+    const double first_end =
+        std::min(seg.hi, static_cast<double>(seg.first + 1));
+    double sum = (first_end - seg.lo) * x_first;
+    double bound = 4.0 * kMachEps * std::abs(x_first);
+    const size_t full_begin = seg.first + 1;
+    if (seg.last > full_begin) {
+      sum += stats_.Sum(pos + full_begin, seg.last - full_begin);
+      bound += stats_.RangeSumErrorBound(pos + full_begin,
+                                         seg.last - full_begin);
+    }
+    const double frac = seg.hi - static_cast<double>(seg.last);
+    if (frac > 0.0) {
+      const double x_last = series_[pos + seg.last];
+      sum += frac * x_last;
+      bound += 4.0 * kMachEps * std::abs(x_last);
+    }
+    *err = bound;
+    return sum;
+  }
+
+  /// The O(paa_size) fast path. Returns false when any decision falls
+  /// within its numerical guard and the caller must use the reference.
+  bool FastWordAt(size_t pos, std::string& word) const {
+    const double n = static_cast<double>(window_);
+    const RollingStats::Moments m = stats_.MomentsOf(pos, window_);
+    const double sd = std::sqrt(m.variance);
+
+    // Error bounds for the prefix-derived window statistics versus the
+    // reference's naive summation.
+    const double mean_err = stats_.RangeSumErrorBound(pos, window_) / n;
+    const double var_err = stats_.RangeSumSqErrorBound(pos, window_) / n +
+                           (2.0 * std::abs(m.mean) + mean_err) * mean_err;
+    const double sd_err =
+        m.variance > var_err ? var_err / sd : std::sqrt(var_err);
+
+    // Guard the flat-window decision itself.
+    if (std::abs(sd - opts_.znorm_epsilon) <= sd_err) {
+      return false;
+    }
+    const bool flat = sd < opts_.znorm_epsilon;
+    const double inv = flat ? 1.0 : 1.0 / sd;
+    // Relative error of `inv`, as an absolute error per unit of |z|.
+    const double inv_rel_err = flat ? 0.0 : sd_err * inv;
+
+    const auto& cuts = alphabet_.breakpoints();
+    for (size_t j = 0; j < paa_; ++j) {
+      double seg_mean;
+      double seg_err;
+      if (divisible_) {
+        if (step_ == 1) {
+          seg_mean = series_[pos + j];
+          seg_err = 0.0;
+        } else {
+          const size_t seg_pos = pos + j * step_;
+          seg_mean =
+              stats_.Sum(seg_pos, step_) / static_cast<double>(step_);
+          seg_err = stats_.RangeSumErrorBound(seg_pos, step_) /
+                    static_cast<double>(step_);
+        }
+      } else {
+        const Segment& seg = segments_[j];
+        double sum_err = 0.0;
+        seg_mean =
+            FractionalSegmentSum(pos, seg, &sum_err) / (seg.hi - seg.lo);
+        seg_err = sum_err / (seg.hi - seg.lo);
+      }
+      // The last term covers the reference path's own rounding: it sums up
+      // to `window` z-space values per segment, each O(|z|).
+      const double z = (seg_mean - m.mean) * inv;
+      const double z_err =
+          (seg_err + mean_err) * inv + std::abs(z) * inv_rel_err +
+          (16.0 + static_cast<double>(window_)) * kMachEps *
+              (1.0 + std::abs(z));
+      const size_t idx = alphabet_.IndexOf(z);
+      // Guard against the breakpoints adjacent to the chosen region: the
+      // reference's value differs from `z` by at most z_err, so a value
+      // that close to a cut could land on the other side there.
+      if (idx > 0 && z - cuts[idx - 1] <= z_err) {
+        return false;
+      }
+      if (idx < cuts.size() && cuts[idx] - z <= z_err) {
+        return false;
+      }
+      word[j] = NormalAlphabet::IndexFor('a', idx);
+    }
+    return true;
+  }
+
+  std::span<const double> series_;
+  RollingStats stats_;
+  const SaxOptions& opts_;
+  const NormalAlphabet& alphabet_;
+  size_t window_;
+  size_t paa_;
+  bool divisible_;
+  size_t step_;
+  std::vector<Segment> segments_;  // only for the non-divisible case
+};
+
 StatusOr<SaxRecords> DiscretizeImpl(std::span<const double> series,
                                     const SaxOptions& opts,
                                     NumerosityReduction numerosity) {
@@ -58,12 +238,15 @@ StatusOr<SaxRecords> DiscretizeImpl(std::span<const double> series,
   }
   const NormalAlphabet alphabet(opts.alphabet_size);
   const size_t windows = NumSlidingWindows(series.size(), opts.window);
+  IncrementalDiscretizer discretizer(series, opts, alphabet);
   SaxRecords records;
   records.words.reserve(windows);
   records.offsets.reserve(windows);
+  // One flat buffer reused for every window; only kept words are copied
+  // into the records.
+  std::string word(opts.paa_size, 'a');
   for (size_t pos = 0; pos < windows; ++pos) {
-    std::string word =
-        SaxWordForWindow(WindowAt(series, pos, opts.window), opts, alphabet);
+    discretizer.WordAt(pos, word);
     bool keep = true;
     if (!records.words.empty()) {
       const std::string& prev = records.words.back();
@@ -79,7 +262,7 @@ StatusOr<SaxRecords> DiscretizeImpl(std::span<const double> series,
       }
     }
     if (keep) {
-      records.words.push_back(std::move(word));
+      records.words.push_back(word);
       records.offsets.push_back(pos);
     }
   }

@@ -1,0 +1,73 @@
+#ifndef GVA_TIMESERIES_ROLLING_STATS_H_
+#define GVA_TIMESERIES_ROLLING_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gva {
+
+/// Prefix-sum accelerator for per-window statistics over one series: after
+/// an O(n) build, the sum, sum of squares, mean, and (population) variance
+/// of any contiguous range cost O(1). This is the shared substrate of the
+/// two hot kernels — sliding-window SAX discretization
+/// (`sax/sax_transform.cc`) and the subsequence distance oracle
+/// (`discord/distance.h`) — so both see the *same* floating-point values
+/// for a given range.
+///
+/// Numerical contract: the prefix arrays are built by plain sequential
+/// accumulation (no compensation, no reassociation), which keeps the
+/// derived range sums bit-stable across builds and thread counts. A range
+/// sum obtained as `prefix[p+len] - prefix[p]`, however, differs from the
+/// naive left-to-right sum of the same range by rounding noise on the
+/// order of eps * |prefix| — callers that must agree bit-for-bit with a
+/// naively-summed reference (the SAX kernel) guard their decisions with
+/// `RangeSumErrorBound()` and fall back to the reference when a decision
+/// falls inside the bound.
+class RollingStats {
+ public:
+  /// Builds the prefix arrays in one sequential pass. The span is only
+  /// read during construction; it need not outlive the object.
+  explicit RollingStats(std::span<const double> values);
+
+  size_t size() const { return n_; }
+
+  /// Sum over [pos, pos + len).
+  double Sum(size_t pos, size_t len) const {
+    return prefix_[pos + len] - prefix_[pos];
+  }
+
+  /// Sum of squares over [pos, pos + len).
+  double SumSq(size_t pos, size_t len) const {
+    return prefix_sq_[pos + len] - prefix_sq_[pos];
+  }
+
+  /// Mean and population variance of [pos, pos + len); the variance is
+  /// clamped at zero (the one-pass identity sum_sq/n - mean^2 can go
+  /// slightly negative on near-constant ranges).
+  struct Moments {
+    double mean;
+    double variance;
+  };
+  Moments MomentsOf(size_t pos, size_t len) const;
+
+  /// Conservative bound on |Sum(pos, len) - naive left-to-right sum of the
+  /// same range|: rounding noise proportional to the magnitude of the
+  /// prefix values the difference cancels, with a generous factor for the
+  /// accumulation error both summations carry. Used by the SAX kernel to
+  /// decide when a prefix-derived value is too close to a discretization
+  /// breakpoint to trust.
+  double RangeSumErrorBound(size_t pos, size_t len) const;
+
+  /// Same bound for SumSq(pos, len).
+  double RangeSumSqErrorBound(size_t pos, size_t len) const;
+
+ private:
+  size_t n_;
+  std::vector<double> prefix_;     // prefix_[i] = values[0] + ... + values[i-1]
+  std::vector<double> prefix_sq_;  // sums of squares
+};
+
+}  // namespace gva
+
+#endif  // GVA_TIMESERIES_ROLLING_STATS_H_

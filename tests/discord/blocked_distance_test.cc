@@ -1,0 +1,201 @@
+// Exactness tests for the blocked-abandon distance kernel: the blocked
+// accumulation (vectorizable squared-diff blocks folded left-to-right, with
+// the abandon check between blocks) must match a scalar per-element
+// reference in value and in abandon *decision*, and the call counter must
+// still count exactly one call per invocation under concurrency.
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/simple.h"
+#include "discord/distance.h"
+#include "util/rng.h"
+
+namespace gva {
+namespace {
+
+/// The pre-overhaul scalar kernel: prefix-sum window stats, one fused
+/// normalize-subtract-square-accumulate loop, per-element abandon check.
+class ScalarReferenceDistance {
+ public:
+  explicit ScalarReferenceDistance(std::span<const double> series,
+                                   double epsilon = kDefaultZNormEpsilon)
+      : series_(series), epsilon_(epsilon) {
+    prefix_.resize(series.size() + 1);
+    prefix_sq_.resize(series.size() + 1);
+    prefix_[0] = 0.0;
+    prefix_sq_[0] = 0.0;
+    for (size_t i = 0; i < series.size(); ++i) {
+      prefix_[i + 1] = prefix_[i] + series[i];
+      prefix_sq_[i + 1] = prefix_sq_[i] + series[i] * series[i];
+    }
+  }
+
+  double Distance(size_t p, size_t q, size_t length,
+                  double limit = SubsequenceDistance::kInfinity) const {
+    const auto [mean_p, inv_p] = StatsOf(p, length);
+    const auto [mean_q, inv_q] = StatsOf(q, length);
+    const double limit_sq =
+        limit == SubsequenceDistance::kInfinity ? limit : limit * limit;
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < length; ++i) {
+      const double va = (series_[p + i] - mean_p) * inv_p;
+      const double vb = (series_[q + i] - mean_q) * inv_q;
+      const double d = va - vb;
+      sum_sq += d * d;
+      if (sum_sq >= limit_sq) {
+        return SubsequenceDistance::kInfinity;
+      }
+    }
+    return std::sqrt(sum_sq);
+  }
+
+ private:
+  std::pair<double, double> StatsOf(size_t pos, size_t length) const {
+    const double n = static_cast<double>(length);
+    const double mean = (prefix_[pos + length] - prefix_[pos]) / n;
+    double variance =
+        (prefix_sq_[pos + length] - prefix_sq_[pos]) / n - mean * mean;
+    if (variance < 0.0) {
+      variance = 0.0;
+    }
+    const double sd = std::sqrt(variance);
+    return {mean, sd < epsilon_ ? 1.0 : 1.0 / sd};
+  }
+
+  std::span<const double> series_;
+  double epsilon_;
+  std::vector<double> prefix_;
+  std::vector<double> prefix_sq_;
+};
+
+TEST(BlockedDistanceTest, MatchesScalarReferenceOnRandomPairs) {
+  const std::vector<double> series = MakeRandomWalk(2000, 1.0, 91);
+  SubsequenceDistance dist(series);
+  ScalarReferenceDistance ref(series);
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Lengths straddle the block size: shorter than one block, block
+    // multiples, and ragged tails.
+    const size_t len = 3 + rng.UniformInt(200);
+    const size_t p = rng.UniformInt(series.size() - len + 1);
+    const size_t q = rng.UniformInt(series.size() - len + 1);
+    const double blocked = dist.Distance(p, q, len);
+    const double scalar = ref.Distance(p, q, len);
+    EXPECT_NEAR(blocked, scalar, 1e-9)
+        << "p=" << p << " q=" << q << " len=" << len;
+  }
+}
+
+TEST(BlockedDistanceTest, ExactBlockMultipleLengths) {
+  const std::vector<double> series = MakeSine(1000, 43.0, 0.15, 3);
+  SubsequenceDistance dist(series);
+  ScalarReferenceDistance ref(series);
+  for (size_t len : {SubsequenceDistance::kBlock, 2 * SubsequenceDistance::kBlock,
+                     8 * SubsequenceDistance::kBlock}) {
+    for (size_t p : {0u, 17u, 400u}) {
+      const size_t q = p + 300;
+      EXPECT_NEAR(dist.Distance(p, q, len), ref.Distance(p, q, len), 1e-12)
+          << "len=" << len << " p=" << p;
+    }
+  }
+}
+
+TEST(BlockedDistanceTest, AbandonsIffScalarReferenceWouldReachLimit) {
+  // The squared sum is monotone, so the block-granular check must abandon
+  // exactly the calls the per-element check abandons: kInfinity iff the
+  // full distance >= limit, the exact value otherwise.
+  const std::vector<double> series = MakeSine(1500, 27.0, 0.2, 29);
+  SubsequenceDistance dist(series);
+  ScalarReferenceDistance ref(series);
+  Rng rng(13);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t len = 5 + rng.UniformInt(150);
+    const size_t p = rng.UniformInt(series.size() - len + 1);
+    const size_t q = rng.UniformInt(series.size() - len + 1);
+    const double truth = ref.Distance(p, q, len);
+    const double limit = truth * (0.25 + 1.5 * rng.UniformDouble()) + 1e-9;
+    const double blocked = dist.Distance(p, q, len, limit);
+    const double scalar = ref.Distance(p, q, len, limit);
+    if (scalar == SubsequenceDistance::kInfinity) {
+      EXPECT_EQ(blocked, SubsequenceDistance::kInfinity)
+          << "p=" << p << " q=" << q << " len=" << len << " limit=" << limit;
+    } else {
+      EXPECT_NEAR(blocked, scalar, 1e-9)
+          << "p=" << p << " q=" << q << " len=" << len << " limit=" << limit;
+    }
+  }
+}
+
+TEST(BlockedDistanceTest, LimitAtExactDistanceDecidesLikeScalar) {
+  // limit == returned distance: whether the >= comparison trips depends on
+  // how sqrt(sum)^2 rounds relative to sum, so the only invariant is that
+  // the blocked kernel decides exactly like the per-element scalar kernel —
+  // the comparison happens against the same running sum either way.
+  const std::vector<double> series = MakeSine(300, 21.0, 0.1, 5);
+  SubsequenceDistance dist(series);
+  ScalarReferenceDistance ref(series);
+  for (size_t len : {7u, 32u, 45u, 64u}) {
+    for (size_t p : {2u, 30u, 101u}) {
+      const size_t q = p + 130;
+      const double full = dist.Distance(p, q, len);
+      ASSERT_GT(full, 0.0);
+      const double blocked = dist.Distance(p, q, len, full);
+      const double scalar = ref.Distance(p, q, len, full);
+      if (scalar == SubsequenceDistance::kInfinity) {
+        EXPECT_EQ(blocked, SubsequenceDistance::kInfinity)
+            << "len=" << len << " p=" << p;
+      } else {
+        EXPECT_EQ(blocked, scalar) << "len=" << len << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(BlockedDistanceTest, FastPathAndLimitedPathAgree) {
+  // A limit far above the distance must not perturb the result relative to
+  // the unconditional full-length path (same summation order in both).
+  const std::vector<double> series = MakeRandomWalk(800, 1.0, 77);
+  SubsequenceDistance dist(series);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = 4 + rng.UniformInt(120);
+    const size_t p = rng.UniformInt(series.size() - len + 1);
+    const size_t q = rng.UniformInt(series.size() - len + 1);
+    const double unlimited = dist.Distance(p, q, len);
+    const double limited = dist.Distance(p, q, len, unlimited + 1.0);
+    EXPECT_EQ(unlimited, limited) << "p=" << p << " q=" << q << " len=" << len;
+  }
+}
+
+TEST(BlockedDistanceTest, CountsExactlyOneCallPerInvocationUnderConcurrency) {
+  // Both kernel paths (fast and abandoning) add exactly one relaxed
+  // increment per invocation; a shared oracle must not lose any.
+  const std::vector<double> series = MakeSine(600, 40.0, 0.1, 9);
+  SubsequenceDistance dist(series);
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dist, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        if (i % 2 == 0) {
+          (void)dist.Distance((t * 11 + i) % 500, (i * 17) % 500, 60);
+        } else {
+          (void)dist.Distance((t * 11 + i) % 500, (i * 17) % 500, 60, 0.25);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(dist.calls(),
+            static_cast<uint64_t>(kThreads) * kCallsPerThread);
+}
+
+}  // namespace
+}  // namespace gva

@@ -1,0 +1,104 @@
+#include "timeseries/rolling_stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/simple.h"
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace gva {
+namespace {
+
+TEST(RollingStatsTest, SumsMatchDirectSummation) {
+  const std::vector<double> v = MakeRandomWalk(500, 1.0, 3);
+  RollingStats stats(v);
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = 1 + rng.UniformInt(100);
+    const size_t pos = rng.UniformInt(v.size() - len + 1);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (size_t i = pos; i < pos + len; ++i) {
+      sum += v[i];
+      sum_sq += v[i] * v[i];
+    }
+    EXPECT_NEAR(stats.Sum(pos, len), sum, 1e-9);
+    EXPECT_NEAR(stats.SumSq(pos, len), sum_sq, 1e-9);
+  }
+}
+
+TEST(RollingStatsTest, MomentsMatchTwoPassStats) {
+  const std::vector<double> v = MakeSine(400, 31.0, 0.1, 7);
+  RollingStats stats(v);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t len = 2 + rng.UniformInt(80);
+    const size_t pos = rng.UniformInt(v.size() - len + 1);
+    const std::span<const double> window(v.data() + pos, len);
+    const RollingStats::Moments m = stats.MomentsOf(pos, len);
+    EXPECT_NEAR(m.mean, Mean(window), 1e-10);
+    EXPECT_NEAR(m.variance, Variance(window), 1e-9);
+  }
+}
+
+TEST(RollingStatsTest, VarianceClampedToZeroOnConstantRange) {
+  // A constant series with a non-representable value makes the one-pass
+  // variance identity wobble around zero; the clamp must hold it at 0.
+  const std::vector<double> v(300, 0.1);
+  RollingStats stats(v);
+  for (size_t len : {2u, 17u, 100u}) {
+    for (size_t pos : {0u, 53u, 200u}) {
+      EXPECT_GE(stats.MomentsOf(pos, len).variance, 0.0);
+      EXPECT_NEAR(stats.MomentsOf(pos, len).variance, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(RollingStatsTest, ErrorBoundCoversObservedDivergence) {
+  // The bound's whole purpose: the prefix-difference sum may not equal the
+  // naive left-to-right sum, but the divergence must stay below
+  // RangeSumErrorBound — including for series with a large offset, where
+  // the divergence is worst.
+  for (double offset : {0.0, 1e3, 1e6, 1e9}) {
+    std::vector<double> v = MakeSine(4000, 37.0, 0.2, 13);
+    for (double& x : v) {
+      x += offset;
+    }
+    RollingStats stats(v);
+    Rng rng(17);
+    for (int trial = 0; trial < 200; ++trial) {
+      const size_t len = 1 + rng.UniformInt(300);
+      const size_t pos = rng.UniformInt(v.size() - len + 1);
+      double naive = 0.0;
+      double naive_sq = 0.0;
+      for (size_t i = pos; i < pos + len; ++i) {
+        naive += v[i];
+        naive_sq += v[i] * v[i];
+      }
+      EXPECT_LE(std::abs(stats.Sum(pos, len) - naive),
+                stats.RangeSumErrorBound(pos, len))
+          << "offset=" << offset << " pos=" << pos << " len=" << len;
+      EXPECT_LE(std::abs(stats.SumSq(pos, len) - naive_sq),
+                stats.RangeSumSqErrorBound(pos, len))
+          << "offset=" << offset << " pos=" << pos << " len=" << len;
+    }
+  }
+}
+
+TEST(RollingStatsTest, EmptyAndSingleElementSeries) {
+  RollingStats empty(std::vector<double>{});
+  EXPECT_EQ(empty.size(), 0u);
+  RollingStats one(std::vector<double>{2.5});
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.Sum(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(one.SumSq(0, 1), 6.25);
+  const RollingStats::Moments m = one.MomentsOf(0, 1);
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_DOUBLE_EQ(m.variance, 0.0);
+}
+
+}  // namespace
+}  // namespace gva
