@@ -9,8 +9,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "obs/session.h"
 #include "viz/svg.h"
 
 namespace gva::bench {
@@ -50,6 +52,51 @@ inline void MaybeWriteFigure(const SvgFigure& figure,
   } else {
     std::printf("figure NOT written: %s\n", status.ToString().c_str());
   }
+}
+
+/// The observability flags every bench binary understands:
+///   --trace=PATH     write a Chrome trace-event JSON capture
+///   --metrics=PATH   write a metrics-registry JSON snapshot
+///   --quiet          suppress informational chatter (announcements)
+struct ObsFlags {
+  std::string trace_path;
+  std::string metrics_path;
+  bool quiet = false;
+};
+
+/// Consumes one argv entry if it is an observability flag; returns whether
+/// it was consumed. Binaries call this first in their argv loop so the obs
+/// flags compose with their own options.
+inline bool ParseObsFlag(const std::string& arg, ObsFlags* flags) {
+  if (arg.rfind("--trace=", 0) == 0) {
+    flags->trace_path = arg.substr(8);
+    return true;
+  }
+  if (arg.rfind("--metrics=", 0) == 0) {
+    flags->metrics_path = arg.substr(10);
+    return true;
+  }
+  if (arg == "--quiet") {
+    flags->quiet = true;
+    return true;
+  }
+  return false;
+}
+
+/// Builds the capture session for the parsed flags — null when neither
+/// export was requested, so plain bench runs stay capture-free. Keep the
+/// returned session alive across the measured code; the files are written
+/// when it is destroyed.
+inline std::unique_ptr<obs::ObsSession> MakeObsSession(
+    const ObsFlags& flags) {
+  if (flags.trace_path.empty() && flags.metrics_path.empty()) {
+    return nullptr;
+  }
+  obs::ObsSession::Options options;
+  options.trace_path = flags.trace_path;
+  options.metrics_path = flags.metrics_path;
+  options.announce = !flags.quiet;
+  return std::make_unique<obs::ObsSession>(options);
 }
 
 }  // namespace gva::bench

@@ -123,6 +123,13 @@ std::vector<Row> MakeRows() {
   return rows;
 }
 
+/// Per-search call-outcome split collected while the main table runs.
+struct OutcomeRow {
+  std::string name;
+  uint64_t hs_completed = 0, hs_abandoned = 0;
+  uint64_t rra_completed = 0, rra_abandoned = 0;
+};
+
 int Run() {
   bench::Header(
       "Table 1: distance-function calls — brute force vs HOTSAX vs RRA");
@@ -134,6 +141,7 @@ int Run() {
 
   size_t rra_wins = 0;
   size_t rows_count = 0;
+  std::vector<OutcomeRow> outcomes;
   for (Row& row : MakeRows()) {
     const LabeledSeries& d = row.data;
     const size_t m = d.series.size();
@@ -184,15 +192,63 @@ int Run() {
                  row.name + ": HOTSAX orders of magnitude below brute force");
     bench::Check(hit_rr, row.name + ": the exact RRA discord hits the "
                                     "planted anomaly");
+
+    OutcomeRow outcome;
+    outcome.name = row.name;
+    outcome.hs_completed = hot->distance_calls_completed;
+    outcome.hs_abandoned = hot->distance_calls_abandoned;
+    outcome.rra_completed = rra_exact->result.distance_calls_completed;
+    outcome.rra_abandoned = rra_exact->result.distance_calls_abandoned;
+    bench::Check(outcome.hs_completed + outcome.hs_abandoned ==
+                     hot->distance_calls,
+                 row.name + ": HOTSAX completed + abandoned == total calls");
+    bench::Check(outcome.rra_completed + outcome.rra_abandoned ==
+                     rra_exact->result.distance_calls,
+                 row.name + ": RRAx completed + abandoned == total calls");
+    outcomes.push_back(std::move(outcome));
   }
 
   bench::Check(rra_wins == rows_count,
                "the paper-configuration RRA spends fewer distance calls "
                "than HOTSAX on every dataset");
+
+  // Call outcomes: how much of each search's work the early-abandon check
+  // cut short. Not a paper table, but the mechanism behind Table 1's gap.
+  bench::Header("Call outcomes: completed vs early-abandoned");
+  std::printf("%-34s %14s %14s %8s %12s %12s %8s\n", "Dataset (w,paa,a)",
+              "HS compl", "HS aband", "HS ab%", "RRAx compl", "RRAx aband",
+              "RRAx ab%");
+  for (const OutcomeRow& o : outcomes) {
+    const auto pct = [](uint64_t abandoned, uint64_t completed) {
+      const uint64_t total = abandoned + completed;
+      return total == 0 ? 0.0
+                        : 100.0 * static_cast<double>(abandoned) /
+                              static_cast<double>(total);
+    };
+    std::printf("%-34s %14s %14s %7.1f%% %12s %12s %7.1f%%\n", o.name.c_str(),
+                FormatWithThousands(o.hs_completed).c_str(),
+                FormatWithThousands(o.hs_abandoned).c_str(),
+                pct(o.hs_abandoned, o.hs_completed),
+                FormatWithThousands(o.rra_completed).c_str(),
+                FormatWithThousands(o.rra_abandoned).c_str(),
+                pct(o.rra_abandoned, o.rra_completed));
+  }
   return bench::CheckExitCode();
 }
 
 }  // namespace
 }  // namespace gva
 
-int main() { return gva::Run(); }
+int main(int argc, char** argv) {
+  gva::bench::ObsFlags obs_flags;
+  for (int i = 1; i < argc; ++i) {
+    if (!gva::bench::ParseObsFlag(argv[i], &obs_flags)) {
+      std::printf(
+          "usage: table1_distance_calls [--trace=PATH] [--metrics=PATH] "
+          "[--quiet]\n");
+      return 2;
+    }
+  }
+  auto session = gva::bench::MakeObsSession(obs_flags);
+  return gva::Run();
+}

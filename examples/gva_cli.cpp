@@ -4,7 +4,10 @@
 //   gva_cli rra     <series.csv> [options]   RRA variable-length discords
 //   gva_cli profile <series.csv> [options]   parameter-grid profiling
 //
-// Common options:
+// The input may be a CSV path or one of the built-in synthetic datasets
+// ("demo:ecg", "demo:power"), which makes the CLI runnable with no files.
+//
+// Common options (--flag value and --flag=value are both accepted):
 //   --column N      CSV column to read (default 0)
 //   --window N      sliding window  (default: suggested from the data)
 //   --paa N         PAA segments    (default: suggested)
@@ -15,16 +18,27 @@
 //   --threads N     rra: search threads (0 = all cores; default 1);
 //                   discords are identical for every value
 //   --csv-out PATH  write the density curve next to the series as CSV
+//
+// Observability (see DESIGN.md §6):
+//   --trace PATH    capture a Chrome trace-event JSON (chrome://tracing)
+//   --metrics PATH  write the metrics-registry snapshot as JSON and print
+//                   the per-stage timing summary
+//   --quiet         suppress informational chatter (loaded/suggested/wrote
+//                   lines and the metrics summary); result tables only
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/parameter_profile.h"
 #include "core/rra.h"
 #include "core/rule_density_detector.h"
+#include "datasets/ecg.h"
+#include "datasets/power_demand.h"
+#include "obs/session.h"
 #include "timeseries/io.h"
 #include "util/csv.h"
 #include "viz/ascii_plot.h"
@@ -56,10 +70,16 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gva_cli <density|rra|profile> <series.csv> "
+               "usage: gva_cli <density|rra|profile> <series.csv|demo:ecg|"
+               "demo:power> "
                "[--window N --paa N --alphabet N --column N --top N "
-               "--threshold F --approx --threads N --csv-out PATH]\n");
+               "--threshold F --approx --threads N --csv-out PATH "
+               "--trace PATH --metrics PATH --quiet]\n");
   return 2;
+}
+
+bool IsBooleanFlag(const std::string& flag) {
+  return flag == "approx" || flag == "quiet";
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -74,7 +94,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
     flag = flag.substr(2);
-    if (flag == "approx") {  // boolean flags
+    if (const size_t eq = flag.find('='); eq != std::string::npos) {
+      // --flag=value spelling.
+      const std::string value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      if (IsBooleanFlag(flag)) {
+        return false;
+      }
+      args->options[flag] = value;
+    } else if (IsBooleanFlag(flag)) {
       args->options[flag] = "1";
     } else if (i + 1 < argc) {
       args->options[flag] = argv[++i];
@@ -83,6 +111,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
   }
   return true;
+}
+
+/// Resolves the input argument: "demo:<name>" builds one of the synthetic
+/// datasets in-process, anything else is read as a CSV path.
+StatusOr<TimeSeries> LoadInput(const Args& args) {
+  if (args.csv_path == "demo:ecg") {
+    return MakeEcg().series;
+  }
+  if (args.csv_path == "demo:power") {
+    return MakePowerDemand().series;
+  }
+  if (args.csv_path.rfind("demo:", 0) == 0) {
+    return Status::NotFound("unknown demo dataset '" + args.csv_path +
+                            "' (have demo:ecg, demo:power)");
+  }
+  return ReadTimeSeriesCsv(args.csv_path, args.get_size("column", 0));
 }
 
 /// Resolves the SAX options: explicit flags win; missing pieces come from
@@ -95,9 +139,11 @@ StatusOr<SaxOptions> ResolveSax(const Args& args, const TimeSeries& series) {
     StatusOr<SaxOptions> suggested = SuggestParameters(series);
     if (suggested.ok()) {
       sax = *suggested;
-      std::printf("suggested parameters: window=%zu paa=%zu alphabet=%zu\n",
-                  sax.window, sax.paa_size, sax.alphabet_size);
-    } else if (!all_given) {
+      if (!args.has_flag("quiet")) {
+        std::printf("suggested parameters: window=%zu paa=%zu alphabet=%zu\n",
+                    sax.window, sax.paa_size, sax.alphabet_size);
+      }
+    } else if (!args.has_flag("quiet")) {
       std::printf("parameter suggestion failed (%s); using defaults\n",
                   suggested.status().ToString().c_str());
     }
@@ -136,7 +182,9 @@ int RunDensity(const Args& args, const TimeSeries& series) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %s\n", args.options.at("csv-out").c_str());
+    if (!args.has_flag("quiet")) {
+      std::printf("wrote %s\n", args.options.at("csv-out").c_str());
+    }
   }
   return 0;
 }
@@ -192,24 +240,47 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     return Usage();
   }
-  StatusOr<TimeSeries> series =
-      ReadTimeSeriesCsv(args.csv_path, args.get_size("column", 0));
+  const bool quiet = args.has_flag("quiet");
+
+  // The capture session spans input loading too, so I/O shows in the trace.
+  std::optional<obs::ObsSession> session;
+  if (args.has_flag("trace") || args.has_flag("metrics")) {
+    obs::ObsSession::Options obs_options;
+    if (args.has_flag("trace")) {
+      obs_options.trace_path = args.options.at("trace");
+    }
+    if (args.has_flag("metrics")) {
+      obs_options.metrics_path = args.options.at("metrics");
+    }
+    obs_options.announce = !quiet;
+    session.emplace(std::move(obs_options));
+  }
+
+  StatusOr<TimeSeries> series = LoadInput(args);
   if (!series.ok()) {
     std::fprintf(stderr, "cannot read %s: %s\n", args.csv_path.c_str(),
                  series.status().ToString().c_str());
     return 1;
   }
-  std::printf("loaded %zu points from %s\n", series->size(),
-              args.csv_path.c_str());
+  if (!quiet) {
+    std::printf("loaded %zu points from %s\n", series->size(),
+                args.csv_path.c_str());
+  }
 
+  int exit_code = 1;
   if (args.command == "density") {
-    return RunDensity(args, *series);
+    exit_code = RunDensity(args, *series);
+  } else if (args.command == "rra") {
+    exit_code = RunRra(args, *series);
+  } else if (args.command == "profile") {
+    exit_code = RunProfile(args, *series);
+  } else {
+    return Usage();
   }
-  if (args.command == "rra") {
-    return RunRra(args, *series);
+
+  if (session.has_value() && session->metrics() && !quiet) {
+    std::printf("\n--- per-stage metrics ---\n%s",
+                MetricsSummaryTable(obs::GlobalMetrics()).c_str());
   }
-  if (args.command == "profile") {
-    return RunProfile(args, *series);
-  }
-  return Usage();
+  return exit_code;
 }

@@ -54,6 +54,8 @@ class RraAdapter : public AnomalyDetector {
                          FindRraDiscords(series, options));
     UnifiedDetection out;
     out.distance_calls = detection.result.distance_calls;
+    out.distance_calls_completed = detection.result.distance_calls_completed;
+    out.distance_calls_abandoned = detection.result.distance_calls_abandoned;
     for (size_t i = 0; i < detection.result.discords.size(); ++i) {
       const DiscordRecord& d = detection.result.discords[i];
       out.anomalies.push_back(UnifiedAnomaly{d.span(), d.distance, i});

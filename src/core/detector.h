@@ -30,6 +30,10 @@ struct UnifiedDetection {
   std::vector<UnifiedAnomaly> anomalies;  ///< ranked, most anomalous first
   /// Distance-function calls spent (0 for distance-free detectors).
   uint64_t distance_calls = 0;
+  /// The call split by outcome (see DiscordResult): completed + abandoned
+  /// == distance_calls. Both 0 for distance-free detectors.
+  uint64_t distance_calls_completed = 0;
+  uint64_t distance_calls_abandoned = 0;
 };
 
 /// Uniform interface over the four detectors in this library, for callers

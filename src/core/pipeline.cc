@@ -1,18 +1,38 @@
 #include "core/pipeline.h"
 
+#include "obs/trace.h"
+
 namespace gva {
 
 StatusOr<GrammarDecomposition> DecomposeSeries(std::span<const double> series,
                                                const SaxOptions& options) {
+  GVA_OBS_SPAN("pipeline.decompose");
   GrammarDecomposition out;
   out.series_length = series.size();
   out.window = options.window;
-  GVA_ASSIGN_OR_RETURN(out.records, Discretize(series, options));
-  GVA_ASSIGN_OR_RETURN(out.grammar,
-                       InferGrammarFromWords(out.records.words));
-  out.intervals = MapRuleIntervals(out.grammar.grammar, out.records,
-                                   options.window, series.size());
-  out.density = RuleDensityCurve(out.intervals, series.size());
+  {
+    GVA_OBS_SPAN("sax.discretize");
+    GVA_ASSIGN_OR_RETURN(out.records, Discretize(series, options));
+  }
+  {
+    GVA_OBS_SPAN("grammar.sequitur");
+    GVA_ASSIGN_OR_RETURN(out.grammar,
+                         InferGrammarFromWords(out.records.words));
+  }
+  {
+    GVA_OBS_SPAN("grammar.rule_intervals");
+    out.intervals = MapRuleIntervals(out.grammar.grammar, out.records,
+                                     options.window, series.size());
+  }
+  {
+    GVA_OBS_SPAN("grammar.density");
+    out.density = RuleDensityCurve(out.intervals, series.size());
+  }
+  obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+  metrics.counter("pipeline.decompose.runs").Add(1);
+  metrics.counter("pipeline.sax.words").Add(out.records.size());
+  metrics.counter("pipeline.grammar.rules").Add(out.grammar.grammar.size());
+  metrics.counter("pipeline.grammar.intervals").Add(out.intervals.size());
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "discord/distance.h"
 #include "discord/parallel_search.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -108,6 +109,13 @@ struct CacheUpdate {
   size_t nn_pos;
 };
 
+/// Per-round progress accounting, merged from chunk-local tallies after the
+/// round joins.
+struct RoundProgress {
+  uint64_t visited = 0;
+  uint64_t pruned = 0;
+};
+
 /// One discord-search round (Algorithm 1), parallelized over chunks of the
 /// outer ordering. Returns false when no remaining candidate has a finite
 /// nearest-neighbor distance.
@@ -121,7 +129,9 @@ struct CacheUpdate {
 bool FindBestDiscord(const SubsequenceDistance& dist, const SearchState& state,
                      const std::vector<char>& excluded, bool normalize,
                      bool exact_nn, size_t refine_delta, ThreadPool& pool,
-                     NnCache& cache, DiscordRecord* best) {
+                     NnCache& cache, obs::BestSoFarLog& trajectory,
+                     RoundProgress* progress, DiscordRecord* best) {
+  GVA_OBS_SPAN("search.rra.round");
   const std::vector<RuleInterval>& candidates = *state.candidates;
   const size_t m = dist.series_length();
 
@@ -147,17 +157,21 @@ bool FindBestDiscord(const SubsequenceDistance& dist, const SearchState& state,
 
   std::vector<BestCandidate> chunk_best(pool.num_threads());
   std::vector<std::vector<CacheUpdate>> chunk_updates(pool.num_threads());
+  std::vector<RoundProgress> chunk_progress(pool.num_threads());
 
   pool.ParallelFor(0, state.outer_order.size(), [&](size_t chunk_begin,
                                                     size_t chunk_end,
                                                     size_t chunk) {
+    GVA_OBS_SPAN("search.rra.chunk");
     BestCandidate local;
+    RoundProgress tally;
     std::vector<CacheUpdate>& updates = chunk_updates[chunk];
     for (size_t oi = chunk_begin; oi < chunk_end; ++oi) {
       const size_t ci = state.outer_order[oi];
       if (excluded[ci] || cache.exact[ci]) {
         continue;
       }
+      ++tally.visited;
       const RuleInterval& cand = candidates[ci];
       const size_t p = cand.span.start;
       const size_t len = cand.span.length();
@@ -264,11 +278,16 @@ bool FindBestDiscord(const SubsequenceDistance& dist, const SearchState& state,
         updates.push_back(CacheUpdate{ci, nn, nn_q});
         if (nn != SubsequenceDistance::kInfinity) {
           local.Consider(BestCandidate{nn, p, len, nn_q, cand.rule, true});
-          shared_best.RaiseTo(nn);
+          if (shared_best.RaiseTo(nn)) {
+            trajectory.Record(dist.calls(), nn);
+          }
         }
+      } else {
+        ++tally.pruned;
       }
     }
     chunk_best[chunk] = local;
+    chunk_progress[chunk] = tally;
   });
 
   // Post-round merge: publish what the chunks learned. Each candidate index
@@ -284,6 +303,10 @@ bool FindBestDiscord(const SubsequenceDistance& dist, const SearchState& state,
 
   for (const BestCandidate& candidate : chunk_best) {
     overall.Consider(candidate);
+  }
+  for (const RoundProgress& tally : chunk_progress) {
+    progress->visited += tally.visited;
+    progress->pruned += tally.pruned;
   }
   if (!overall.valid) {
     return false;
@@ -321,6 +344,8 @@ StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
   cache.exact.assign(candidates.size(), 0);
   cache.nn_pos.assign(candidates.size(), 0);
 
+  obs::BestSoFarLog trajectory;
+  RoundProgress progress;
   for (size_t k = 0; k < options.top_k; ++k) {
     DiscordRecord best;
     // Alignment-refinement radius: half a PAA segment on each side covers
@@ -329,7 +354,7 @@ StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
         2, options.sax.window / std::max<size_t>(1, 2 * options.sax.paa_size));
     if (!FindBestDiscord(dist, state, excluded, options.normalize_by_length,
                          options.exact_nearest_neighbor, refine_delta, pool,
-                         cache, &best)) {
+                         cache, trajectory, &progress, &best)) {
       break;
     }
     result.discords.push_back(best);
@@ -341,6 +366,13 @@ StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
     }
   }
   result.distance_calls = dist.calls();
+  result.distance_calls_completed = dist.calls_completed();
+  result.distance_calls_abandoned = dist.calls_abandoned();
+  result.candidates_visited = progress.visited;
+  result.candidates_pruned = progress.pruned;
+  result.best_trajectory = trajectory.TakeSorted();
+  AccumulateSearchMetrics(result, "rra", obs::GlobalMetrics());
+  pool.ExportStats(obs::GlobalMetrics());
   return result;
 }
 

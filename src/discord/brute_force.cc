@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "discord/distance.h"
+#include "obs/trace.h"
 #include "timeseries/sliding_window.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -53,25 +54,29 @@ StatusOr<DiscordResult> FindDiscordsBruteForce(std::span<const double> series,
                               SubsequenceDistance::kInfinity);
   std::vector<size_t> nn_pos(candidates, 0);
   ThreadPool pool(num_threads);
-  pool.ParallelFor(0, candidates, [&](size_t chunk_begin, size_t chunk_end,
-                                      size_t /*chunk*/) {
-    for (size_t p = chunk_begin; p < chunk_end; ++p) {
-      double best = SubsequenceDistance::kInfinity;
-      size_t best_q = 0;
-      for (size_t q = 0; q < candidates; ++q) {
-        if (IsSelfMatch(p, q, window)) {
-          continue;
+  {
+    GVA_OBS_SPAN("search.brute.pass");
+    pool.ParallelFor(0, candidates, [&](size_t chunk_begin, size_t chunk_end,
+                                        size_t /*chunk*/) {
+      GVA_OBS_SPAN("search.brute.chunk");
+      for (size_t p = chunk_begin; p < chunk_end; ++p) {
+        double best = SubsequenceDistance::kInfinity;
+        size_t best_q = 0;
+        for (size_t q = 0; q < candidates; ++q) {
+          if (IsSelfMatch(p, q, window)) {
+            continue;
+          }
+          const double d = dist.Distance(p, q, window, best);
+          if (d < best) {
+            best = d;
+            best_q = q;
+          }
         }
-        const double d = dist.Distance(p, q, window, best);
-        if (d < best) {
-          best = d;
-          best_q = q;
-        }
+        nn_dist[p] = best;
+        nn_pos[p] = best_q;
       }
-      nn_dist[p] = best;
-      nn_pos[p] = best_q;
-    }
-  });
+    });
+  }
 
   // Greedy top-k selection of non-overlapping discords, best first.
   std::vector<size_t> order(candidates);
@@ -102,6 +107,15 @@ StatusOr<DiscordResult> FindDiscordsBruteForce(std::span<const double> series,
         DiscordRecord{p, window, nn_dist[p], nn_pos[p], -2});
   }
   result.distance_calls = dist.calls();
+  result.distance_calls_completed = dist.calls_completed();
+  result.distance_calls_abandoned = dist.calls_abandoned();
+  // Every candidate's scan runs to its own conclusion; there is no shared
+  // best-so-far, hence nothing is ever outer-loop pruned — which also makes
+  // the call split thread-count-invariant here, unlike HOTSAX/RRA.
+  result.candidates_visited = candidates;
+  result.candidates_pruned = 0;
+  AccumulateSearchMetrics(result, "brute", obs::GlobalMetrics());
+  pool.ExportStats(obs::GlobalMetrics());
   return result;
 }
 

@@ -2,8 +2,12 @@
 #define GVA_DISCORD_DISCORD_RECORD_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "timeseries/interval.h"
 
 namespace gva {
@@ -28,13 +32,53 @@ struct DiscordRecord {
   Interval span() const { return Interval{position, position + length}; }
 };
 
-/// Result of a discord search: ranked discords (best first) plus the number
-/// of distance-function calls the search spent — the paper's efficiency
-/// metric (Table 1).
+/// Result of a discord search: ranked discords (best first) plus the
+/// search-progress accounting — the paper's efficiency metric (Table 1) and
+/// its decomposition.
+///
+/// Determinism: discords and candidates_visited are bit-identical for every
+/// thread count. The call split, candidates_pruned, and the trajectory
+/// depend on where cross-thread pruning cut each losing scan, so for the
+/// shared-best searches (HOTSAX, RRA) they are reproducible only at
+/// num_threads == 1; brute force abandons against per-candidate state only,
+/// so there every field is thread-count-invariant.
 struct DiscordResult {
   std::vector<DiscordRecord> discords;
+  /// Total distance-function calls (completed + abandoned).
   uint64_t distance_calls = 0;
+  /// Calls whose scan ran to completion.
+  uint64_t distance_calls_completed = 0;
+  /// Calls cut short by the early-abandon limit.
+  uint64_t distance_calls_abandoned = 0;
+  /// Outer-loop candidates whose inner scan was started.
+  uint64_t candidates_visited = 0;
+  /// Candidates discarded because their running nearest-neighbor distance
+  /// fell below the best-so-far discord (the outer-loop pruning of HOTSAX /
+  /// RRA; always 0 for brute force).
+  uint64_t candidates_pruned = 0;
+  /// Best-so-far improvements in call-count order: the search's
+  /// convergence trajectory.
+  std::vector<obs::BestSoFarSample> best_trajectory;
 };
+
+/// Folds a finished search's accounting into `registry` under
+/// `search.<algo>.*` — the bridge from per-search exact accounting to the
+/// process-wide metrics exports. Called once per search (not per call), so
+/// the map lookups are off the hot path.
+inline void AccumulateSearchMetrics(const DiscordResult& result,
+                                    std::string_view algo,
+                                    obs::MetricsRegistry& registry) {
+  const std::string prefix = "search." + std::string(algo);
+  registry.counter(prefix + ".calls.completed")
+      .Add(result.distance_calls_completed);
+  registry.counter(prefix + ".calls.abandoned")
+      .Add(result.distance_calls_abandoned);
+  registry.counter(prefix + ".candidates.visited")
+      .Add(result.candidates_visited);
+  registry.counter(prefix + ".candidates.pruned")
+      .Add(result.candidates_pruned);
+  registry.counter(prefix + ".discords").Add(result.discords.size());
+}
 
 }  // namespace gva
 

@@ -74,7 +74,6 @@ SubsequenceDistance::MeanStd SubsequenceDistance::StatsOf(
 
 double SubsequenceDistance::Distance(size_t p, size_t q, size_t length,
                                      double limit) const {
-  calls_.fetch_add(1, std::memory_order_relaxed);
   GVA_DCHECK(p + length <= series_.size());
   GVA_DCHECK(q + length <= series_.size());
   const MeanStd sp = StatsOf(p, length);
@@ -100,7 +99,7 @@ double SubsequenceDistance::Distance(size_t p, size_t q, size_t length,
     for (size_t j = 0; j < tail; ++j) {
       sum_sq += block[j];
     }
-    return std::sqrt(sum_sq);
+    return Completed(std::sqrt(sum_sq));
   }
 
   // Abandoning path: the limit is checked once per block. The squared
@@ -115,6 +114,7 @@ double SubsequenceDistance::Distance(size_t p, size_t q, size_t length,
       sum_sq += block[j];
     }
     if (sum_sq >= limit_sq) {
+      abandoned_.Add();
       return kInfinity;
     }
   }
@@ -125,9 +125,10 @@ double SubsequenceDistance::Distance(size_t p, size_t q, size_t length,
     sum_sq += block[j];
   }
   if (sum_sq >= limit_sq) {
+    abandoned_.Add();
     return kInfinity;
   }
-  return std::sqrt(sum_sq);
+  return Completed(std::sqrt(sum_sq));
 }
 
 }  // namespace gva

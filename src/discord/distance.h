@@ -1,11 +1,11 @@
 #ifndef GVA_DISCORD_DISTANCE_H_
 #define GVA_DISCORD_DISTANCE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
 
+#include "obs/metrics.h"
 #include "timeseries/rolling_stats.h"
 #include "timeseries/znorm.h"
 
@@ -29,9 +29,16 @@ double ZNormEuclideanDistance(std::span<const double> a,
 /// deviations are derived from a shared RollingStats prefix-sum table in
 /// O(1) per window, so a distance between any two equal-length subsequences
 /// costs one fused normalize-and-accumulate pass with optional early
-/// abandoning. Every call — abandoned or not — increments the call counter,
+/// abandoning. Every call — abandoned or not — increments a call counter,
 /// which is what the paper's Table 1 compares across algorithms ("number of
-/// calls to the distance function").
+/// calls to the distance function"). The accounting is split by outcome
+/// (relaxed atomics): calls_completed() scans that ran to the end,
+/// calls_abandoned() scans the limit cut short — their sum is calls(), and
+/// the ratio is a direct measure of pruning effectiveness. Because the
+/// split is an algorithm *output* (the Table-1 quantity), the counters are
+/// always-on BasicCounter<true>, not the GVA_OBS-gated obs::Counter: a
+/// -DGVA_OBS=OFF build strips the telemetry but still reports exact call
+/// counts. The optional distance histogram is telemetry and stays gated.
 ///
 /// Kernel structure (see DESIGN.md, "Kernel layer"): the pass is blocked.
 /// Each block of kBlock elements is normalized, differenced, and squared
@@ -69,9 +76,26 @@ class SubsequenceDistance {
   double Distance(size_t p, size_t q, size_t length,
                   double limit = kInfinity) const;
 
-  /// Number of Distance() invocations so far.
-  uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
-  void ResetCalls() { calls_.store(0, std::memory_order_relaxed); }
+  /// Number of Distance() invocations so far (completed + abandoned).
+  uint64_t calls() const {
+    return completed_.value() + abandoned_.value();
+  }
+  /// Calls whose scan ran to the end and returned a real distance.
+  uint64_t calls_completed() const { return completed_.value(); }
+  /// Calls the abandon limit cut short (returned kInfinity).
+  uint64_t calls_abandoned() const { return abandoned_.value(); }
+  void ResetCalls() {
+    completed_.Reset();
+    abandoned_.Reset();
+  }
+
+  /// Attaches a histogram that records every *completed* call's distance
+  /// value (abandoned calls have no value to record). Pass nullptr to
+  /// detach. Opt-in because it adds a histogram update to the hot path;
+  /// the attach itself must not race with in-flight Distance() calls.
+  void AttachDistanceHistogram(obs::Histogram* histogram) {
+    distance_histogram_ = histogram;
+  }
 
   size_t series_length() const { return series_.size(); }
 
@@ -83,10 +107,22 @@ class SubsequenceDistance {
 
   MeanStd StatsOf(size_t pos, size_t length) const;
 
+  /// Accounting tail of a completed scan: counts it and feeds the optional
+  /// distance histogram.
+  double Completed(double d) const {
+    completed_.Add();
+    if (distance_histogram_ != nullptr) {
+      distance_histogram_->Record(d);
+    }
+    return d;
+  }
+
   std::span<const double> series_;
   double epsilon_;
   RollingStats stats_;
-  mutable std::atomic<uint64_t> calls_{0};
+  mutable obs::BasicCounter<true> completed_;
+  mutable obs::BasicCounter<true> abandoned_;
+  obs::Histogram* distance_histogram_ = nullptr;
 };
 
 }  // namespace gva

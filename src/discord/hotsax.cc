@@ -7,6 +7,7 @@
 
 #include "discord/distance.h"
 #include "discord/parallel_search.h"
+#include "obs/trace.h"
 #include "timeseries/sliding_window.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -15,6 +16,14 @@
 namespace gva {
 
 namespace {
+
+/// Per-round progress accounting, merged from chunk-local tallies after the
+/// round joins (one cell per chunk, so totals are exact and, per chunk set,
+/// independent of completion order).
+struct RoundProgress {
+  uint64_t visited = 0;
+  uint64_t pruned = 0;
+};
 
 /// One discord search round over the allowed candidates, parallelized over
 /// chunks of the outer ordering. Every candidate's inner scan is a prefix
@@ -31,19 +40,25 @@ bool FindBestDiscord(const SubsequenceDistance& dist, size_t window,
                      const std::vector<const std::string*>& word_of,
                      const std::vector<size_t>& inner_random,
                      const std::vector<char>& excluded, ThreadPool& pool,
+                     obs::BestSoFarLog& trajectory, RoundProgress* progress,
                      DiscordRecord* best) {
+  GVA_OBS_SPAN("search.hotsax.round");
   SharedBestDistance shared_best;
   std::vector<BestCandidate> chunk_best(pool.num_threads());
+  std::vector<RoundProgress> chunk_progress(pool.num_threads());
 
   pool.ParallelFor(0, outer_order.size(), [&](size_t chunk_begin,
                                               size_t chunk_end,
                                               size_t chunk) {
+    GVA_OBS_SPAN("search.hotsax.chunk");
     BestCandidate local;
+    RoundProgress tally;
     for (size_t oi = chunk_begin; oi < chunk_end; ++oi) {
       const size_t p = outer_order[oi];
       if (excluded[p]) {
         continue;
       }
+      ++tally.visited;
       double nn = SubsequenceDistance::kInfinity;
       size_t nn_q = 0;
       bool pruned = false;
@@ -83,17 +98,26 @@ bool FindBestDiscord(const SubsequenceDistance& dist, size_t window,
         }
       }
 
-      if (!pruned && nn != SubsequenceDistance::kInfinity) {
+      if (pruned) {
+        ++tally.pruned;
+      } else if (nn != SubsequenceDistance::kInfinity) {
         local.Consider(BestCandidate{nn, p, window, nn_q, -2, true});
-        shared_best.RaiseTo(nn);
+        if (shared_best.RaiseTo(nn)) {
+          trajectory.Record(dist.calls(), nn);
+        }
       }
     }
     chunk_best[chunk] = local;
+    chunk_progress[chunk] = tally;
   });
 
   BestCandidate overall;
   for (const BestCandidate& candidate : chunk_best) {
     overall.Consider(candidate);
+  }
+  for (const RoundProgress& tally : chunk_progress) {
+    progress->visited += tally.visited;
+    progress->pruned += tally.pruned;
   }
   if (!overall.valid) {
     return false;
@@ -118,8 +142,11 @@ StatusOr<DiscordResult> FindDiscordsHotSax(std::span<const double> series,
   }
 
   // Discretize every window (no numerosity reduction).
-  GVA_ASSIGN_OR_RETURN(SaxRecords records,
-                       DiscretizeAllWindows(series, options.sax));
+  StatusOr<SaxRecords> discretized = [&] {
+    GVA_OBS_SPAN("search.hotsax.discretize");
+    return DiscretizeAllWindows(series, options.sax);
+  }();
+  GVA_ASSIGN_OR_RETURN(SaxRecords records, std::move(discretized));
   const size_t candidates = records.size();
 
   // Word buckets: word -> positions, in index order.
@@ -163,10 +190,13 @@ StatusOr<DiscordResult> FindDiscordsHotSax(std::span<const double> series,
   ThreadPool pool(options.num_threads);
 
   DiscordResult result;
+  obs::BestSoFarLog trajectory;
+  RoundProgress progress;
   for (size_t k = 0; k < options.top_k; ++k) {
     DiscordRecord best;
     if (!FindBestDiscord(dist, window, outer_order, buckets, word_of,
-                         inner_random, excluded, pool, &best)) {
+                         inner_random, excluded, pool, trajectory, &progress,
+                         &best)) {
       break;
     }
     result.discords.push_back(best);
@@ -178,6 +208,13 @@ StatusOr<DiscordResult> FindDiscordsHotSax(std::span<const double> series,
     }
   }
   result.distance_calls = dist.calls();
+  result.distance_calls_completed = dist.calls_completed();
+  result.distance_calls_abandoned = dist.calls_abandoned();
+  result.candidates_visited = progress.visited;
+  result.candidates_pruned = progress.pruned;
+  result.best_trajectory = trajectory.TakeSorted();
+  AccumulateSearchMetrics(result, "hotsax", obs::GlobalMetrics());
+  pool.ExportStats(obs::GlobalMetrics());
   return result;
 }
 

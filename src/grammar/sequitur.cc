@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace gva {
@@ -434,6 +435,7 @@ Grammar IncrementalSequitur::ExtractGrammar() const {
 }
 
 StatusOr<Grammar> InferGrammar(std::span<const int32_t> tokens) {
+  GVA_OBS_SPAN("grammar.sequitur.induce");
   IncrementalSequitur sequitur;
   for (int32_t t : tokens) {
     GVA_RETURN_IF_ERROR(sequitur.Append(t));

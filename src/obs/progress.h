@@ -1,0 +1,53 @@
+#ifndef GVA_OBS_PROGRESS_H_
+#define GVA_OBS_PROGRESS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace gva::obs {
+
+/// One best-so-far improvement during a discord search: after `at_call`
+/// distance-function calls the search's best discord distance rose to
+/// `distance`. The sequence of samples is the search's convergence
+/// trajectory — the paper's efficiency story (Table 1) in curve form.
+struct BestSoFarSample {
+  uint64_t at_call = 0;
+  double distance = 0.0;
+};
+
+/// Thread-safe append-only log of best-so-far improvements. Raises are rare
+/// (a handful per search round), so one mutex is plenty; the searches call
+/// Record only when the shared best actually rose.
+class BestSoFarLog {
+ public:
+  void Record(uint64_t at_call, double distance) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(BestSoFarSample{at_call, distance});
+  }
+
+  /// Moves the samples out, ordered by (at_call, distance). With multiple
+  /// search threads the interleaving of raises is timing-dependent; sorting
+  /// gives callers a canonical monotone-in-calls view.
+  std::vector<BestSoFarSample> TakeSorted() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<BestSoFarSample> out = std::move(samples_);
+    samples_.clear();
+    std::sort(out.begin(), out.end(),
+              [](const BestSoFarSample& a, const BestSoFarSample& b) {
+                return a.at_call != b.at_call ? a.at_call < b.at_call
+                                              : a.distance < b.distance;
+              });
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<BestSoFarSample> samples_;
+};
+
+}  // namespace gva::obs
+
+#endif  // GVA_OBS_PROGRESS_H_

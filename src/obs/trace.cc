@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace gva::obs {
+
+namespace {
+
+std::atomic<bool> g_stage_timing{false};
+
+}  // namespace
+
+Tracer::Tracer() : origin_(std::chrono::steady_clock::now()) {}
+
+void Tracer::Enable() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    tids_.clear();
+    origin_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+int Tracer::TidOfCurrentThread() {
+  const std::thread::id id = std::this_thread::get_id();
+  auto it = tids_.find(id);
+  if (it == tids_.end()) {
+    it = tids_.emplace(id, static_cast<int>(tids_.size())).first;
+  }
+  return it->second;
+}
+
+void Tracer::RecordComplete(const char* name, const char* category,
+                            uint64_t ts_us, uint64_t dur_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      TraceEvent{name, category, ts_us, dur_us, TidOfCurrentThread()});
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    json += StrFormat(
+        "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+        "\"tid\": %d, \"ts\": %llu, \"dur\": %llu}%s\n",
+        e.name, e.category, e.tid, static_cast<unsigned long long>(e.ts_us),
+        static_cast<unsigned long long>(e.dur_us),
+        i + 1 < events_.size() ? "," : "");
+  }
+  json += "]}\n";
+  return json;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file '" + path + "'");
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to trace file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  tids_.clear();
+}
+
+Tracer& GlobalTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+bool StageTimingEnabled() {
+  return g_stage_timing.load(std::memory_order_relaxed);
+}
+
+void SetStageTimingEnabled(bool enabled) {
+  g_stage_timing.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : name_(name), category_(category) {
+  tracing_ = GlobalTracer().enabled();
+  timing_ = StageTimingEnabled();
+  if (tracing_ || timing_) {
+    start_us_ = GlobalTracer().NowMicros();
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!tracing_ && !timing_) {
+    return;
+  }
+  const uint64_t end_us = GlobalTracer().NowMicros();
+  const uint64_t dur = end_us >= start_us_ ? end_us - start_us_ : 0;
+  if (tracing_ && GlobalTracer().enabled()) {
+    GlobalTracer().RecordComplete(name_, category_, start_us_, dur);
+  }
+  if (timing_) {
+    MetricsRegistry& metrics = GlobalMetrics();
+    metrics.counter(std::string("stage.") + name_ + ".us").Add(dur);
+    metrics.counter(std::string("stage.") + name_ + ".count").Add(1);
+  }
+}
+
+}  // namespace gva::obs

@@ -1,0 +1,121 @@
+#ifndef GVA_OBS_TRACE_H_
+#define GVA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace gva::obs {
+
+/// One completed span in Chrome trace_event "complete" form ("ph": "X").
+struct TraceEvent {
+  const char* name;  ///< static string (span sites use literals)
+  const char* category;
+  uint64_t ts_us;   ///< start, microseconds since the tracer's origin
+  uint64_t dur_us;  ///< duration in microseconds
+  int tid;          ///< dense per-tracer thread index (0 = first seen)
+};
+
+/// Collects spans and serializes them as Chrome trace-event JSON, loadable
+/// in chrome://tracing and Perfetto. Disabled by default: ScopedSpan checks
+/// one relaxed atomic and does nothing else, so idle tracing costs a load
+/// per span site. While enabled, each completed span takes a short mutex
+/// hold; spans are stage/round/chunk-granular (never per distance call), so
+/// contention is negligible next to the work they bracket.
+///
+/// Nesting requires no bookkeeping: the viewers reconstruct the hierarchy
+/// from containment of [ts, ts+dur) intervals within a thread track, so
+/// nested ScopedSpans on one thread render as nested slices.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts a capture: clears prior events and re-anchors the origin so
+  /// timestamps start near zero.
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the capture origin.
+  uint64_t NowMicros() const;
+
+  /// Appends one completed span for the calling thread.
+  void RecordComplete(const char* name, const char* category, uint64_t ts_us,
+                      uint64_t dur_us);
+
+  size_t event_count() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} — the Chrome
+  /// trace-event JSON object form.
+  std::string ToJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  int TidOfCurrentThread();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, int> tids_;
+};
+
+/// The process-wide tracer every GVA_OBS_SPAN site records into.
+Tracer& GlobalTracer();
+
+/// Process-wide switch for stage wall-time metrics: when on, ScopedSpan
+/// also accumulates its duration into GlobalMetrics() counters
+/// `stage.<name>.us` / `stage.<name>.count`. Enabled by ObsSession when a
+/// metrics export was requested; off by default so plain library use never
+/// touches the clock.
+bool StageTimingEnabled();
+void SetStageTimingEnabled(bool enabled);
+
+/// RAII span: captures the start time if the global tracer (or stage
+/// timing) is active when constructed, and records on destruction. `name`
+/// and `category` must be string literals (or otherwise outlive the
+/// tracer's capture).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "gva");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  uint64_t start_us_ = 0;
+  bool tracing_ = false;
+  bool timing_ = false;
+};
+
+}  // namespace gva::obs
+
+/// Span convenience macro: one relaxed load when observability is idle;
+/// compiles to nothing when the library is built with -DGVA_OBS=OFF.
+#define GVA_OBS_CONCAT_INNER(a, b) a##b
+#define GVA_OBS_CONCAT(a, b) GVA_OBS_CONCAT_INNER(a, b)
+#ifdef GVA_OBS_DISABLED
+#define GVA_OBS_SPAN(name) \
+  do {                     \
+  } while (false)
+#else
+#define GVA_OBS_SPAN(name) \
+  ::gva::obs::ScopedSpan GVA_OBS_CONCAT(gva_obs_span_, __LINE__)(name)
+#endif
+
+#endif  // GVA_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
 #include "sax/mindist.h"
 #include "sax/paa.h"
 #include "timeseries/rolling_stats.h"
@@ -238,7 +239,14 @@ StatusOr<SaxRecords> DiscretizeImpl(std::span<const double> series,
   }
   const NormalAlphabet alphabet(opts.alphabet_size);
   const size_t windows = NumSlidingWindows(series.size(), opts.window);
-  IncrementalDiscretizer discretizer(series, opts, alphabet);
+  // The discretizer's constructor builds the rolling-moment (z-norm) table;
+  // the loop below is the word extraction proper. Separate spans let a
+  // trace show where discretization time actually goes.
+  auto discretizer = [&] {
+    GVA_OBS_SPAN("sax.znorm_stats");
+    return IncrementalDiscretizer(series, opts, alphabet);
+  }();
+  GVA_OBS_SPAN("sax.words");
   SaxRecords records;
   records.words.reserve(windows);
   records.offsets.reserve(windows);

@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
+#include <string>
 
 namespace gva {
 
@@ -43,6 +46,30 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    RunTimed(task);
+    tasks_executed_.Add();
+  }
+}
+
+std::function<void()> ThreadPool::TryPop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) {
+    return nullptr;
+  }
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  return task;
+}
+
+void ThreadPool::RunTimed(const std::function<void()>& task) {
+  if constexpr (obs::kEnabled) {
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    task_us_.Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  } else {
     task();
   }
 }
@@ -56,7 +83,8 @@ void ThreadPool::ParallelFor(
   const size_t n = end - begin;
   const size_t chunks = std::min(n, num_threads());
   if (chunks == 1) {
-    body(begin, end, 0);
+    tasks_inline_.Add();
+    body(begin, end, 0);  // single lane: exceptions propagate directly
     return;
   }
 
@@ -67,27 +95,103 @@ void ThreadPool::ParallelFor(
     return begin + c * base + std::min(c, extra);
   };
 
+  // Per-ParallelFor completion state. Chunk tasks catch everything their
+  // body throws: the worker loop must never unwind (that would strand the
+  // queue and turn shutdown into std::terminate), so the first exception is
+  // parked here and rethrown on the calling thread after the join.
   std::mutex done_mu;
   std::condition_variable done_cv;
   size_t remaining = chunks - 1;
+  std::exception_ptr first_error;
+  auto finish_chunk = [&](std::exception_ptr error) {
+    std::lock_guard<std::mutex> done_lock(done_mu);
+    if (error != nullptr && first_error == nullptr) {
+      first_error = error;
+    }
+    if (--remaining == 0) {
+      done_cv.notify_one();
+    }
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t c = 1; c < chunks; ++c) {
       queue_.emplace_back([&, c] {
-        body(chunk_begin(c), chunk_begin(c + 1), c);
-        std::lock_guard<std::mutex> done_lock(done_mu);
-        if (--remaining == 0) {
-          done_cv.notify_one();
+        std::exception_ptr error;
+        try {
+          body(chunk_begin(c), chunk_begin(c + 1), c);
+        } catch (...) {
+          error = std::current_exception();
         }
+        finish_chunk(error);
       });
     }
+    tasks_submitted_.Add(chunks - 1);
+    max_queue_depth_.RaiseTo(static_cast<int64_t>(queue_.size()));
   }
   wake_.notify_all();
 
-  body(chunk_begin(0), chunk_begin(1), 0);
+  // The caller's lane: its own chunk first. Its exception must not skip the
+  // join below — the queued chunks still reference this frame's state.
+  std::exception_ptr caller_error;
+  tasks_inline_.Add();
+  try {
+    body(chunk_begin(0), chunk_begin(1), 0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
 
-  std::unique_lock<std::mutex> done_lock(done_mu);
-  done_cv.wait(done_lock, [&] { return remaining == 0; });
+  // Instead of idle-blocking on the join, the caller steals queued tasks
+  // and runs them itself. With chunks == lanes the queue is normally empty
+  // by now, but if a worker was descheduled (or the pool is shared), the
+  // steal keeps the caller productive and shortens the tail.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> done_lock(done_mu);
+      if (remaining == 0) {
+        break;
+      }
+    }
+    if (std::function<void()> task = TryPop()) {
+      RunTimed(task);
+      tasks_stolen_.Add();
+      continue;
+    }
+    std::unique_lock<std::mutex> done_lock(done_mu);
+    done_cv.wait(done_lock, [&] { return remaining == 0; });
+    break;
+  }
+
+  if (caller_error != nullptr) {
+    std::rethrow_exception(caller_error);
+  }
+  std::lock_guard<std::mutex> done_lock(done_mu);
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_submitted = tasks_submitted_.value();
+  s.tasks_executed = tasks_executed_.value();
+  s.tasks_stolen = tasks_stolen_.value();
+  s.tasks_inline = tasks_inline_.value();
+  s.max_queue_depth = static_cast<uint64_t>(max_queue_depth_.value());
+  s.task_us = task_us_.value();
+  return s;
+}
+
+void ThreadPool::ExportStats(obs::MetricsRegistry& registry,
+                             std::string_view prefix) const {
+  const Stats s = stats();
+  const std::string p(prefix);
+  registry.counter(p + ".tasks.submitted").Add(s.tasks_submitted);
+  registry.counter(p + ".tasks.executed").Add(s.tasks_executed);
+  registry.counter(p + ".tasks.stolen").Add(s.tasks_stolen);
+  registry.counter(p + ".tasks.inline").Add(s.tasks_inline);
+  registry.gauge(p + ".queue.max_depth")
+      .RaiseTo(static_cast<int64_t>(s.max_queue_depth));
+  registry.counter(p + ".tasks.us").Add(s.task_us);
 }
 
 }  // namespace gva

@@ -3,11 +3,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace gva {
 
@@ -20,8 +23,34 @@ namespace gva {
 ///
 /// The pool is reused across the rounds of a top-k search; workers park on a
 /// condition variable between rounds.
+///
+/// Exception safety: a chunk body that throws does not tear down the pool.
+/// The exception is caught inside the task wrapper (so the worker loop
+/// keeps draining and destruction joins deterministically), and the first
+/// one caught is rethrown on the calling thread after every chunk of that
+/// ParallelFor has finished. The pool remains usable afterwards.
 class ThreadPool {
  public:
+  /// Lifetime observability counters, readable at any time (relaxed
+  /// atomics; totals are exact once the pool is idle).
+  struct Stats {
+    /// Chunk tasks handed to the queue by ParallelFor (excludes the chunk
+    /// the caller runs inline).
+    uint64_t tasks_submitted = 0;
+    /// Queued tasks executed by worker threads.
+    uint64_t tasks_executed = 0;
+    /// Queued tasks the calling thread stole and ran while waiting for its
+    /// ParallelFor to drain (work that would otherwise idle-block it).
+    uint64_t tasks_stolen = 0;
+    /// Chunks the caller ran inline (its own lane's chunk).
+    uint64_t tasks_inline = 0;
+    /// High-water mark of the task queue length.
+    uint64_t max_queue_depth = 0;
+    /// Total wall-clock microseconds spent inside queued tasks (worker +
+    /// stolen), for mean task latency: task_us / (executed + stolen).
+    uint64_t task_us = 0;
+  };
+
   /// `num_threads` == 0 means ResolveThreadCount(0) (hardware concurrency).
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
@@ -39,8 +68,19 @@ class ThreadPool {
   /// writes). Chunk boundaries depend on the thread count, so callers that
   /// promise thread-count-invariant results must reduce chunk outputs with
   /// an order-independent rule (e.g. arg-max with a total-order tie-break).
+  /// If one or more chunk bodies throw, the first exception (in completion
+  /// order) is rethrown here after all chunks have finished.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t, size_t, size_t)>& body);
+
+  /// Point-in-time copy of the lifetime counters.
+  Stats stats() const;
+
+  /// Adds the lifetime counters to `registry` under `<prefix>.*` (e.g.
+  /// `pool.tasks.executed`). Call when a search finishes; the counters in
+  /// the registry then accumulate across pools.
+  void ExportStats(obs::MetricsRegistry& registry,
+                   std::string_view prefix = "pool") const;
 
   /// Maps the user-facing `num_threads` knob to an actual lane count:
   /// 0 means "all hardware threads" (at least 1); other values are taken
@@ -56,11 +96,26 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Pops one queued task if available (mu_ must not be held).
+  std::function<void()> TryPop();
+
+  /// Runs one queued task, timing it into task_us_.
+  void RunTimed(const std::function<void()>& task);
+
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable wake_;
   bool stop_ = false;
+
+  // obs primitives: relaxed atomics in the default build, empty no-ops
+  // (stats() then reads all zeros) when built with -DGVA_OBS=OFF.
+  obs::Counter tasks_submitted_;
+  obs::Counter tasks_executed_;
+  obs::Counter tasks_stolen_;
+  obs::Counter tasks_inline_;
+  obs::Gauge max_queue_depth_;
+  obs::Counter task_us_;
 };
 
 }  // namespace gva

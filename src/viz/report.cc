@@ -86,4 +86,96 @@ std::string RuleStatsTable(const GrammarDecomposition& decomposition,
   return out.str();
 }
 
+std::string MetricsSummaryTable(
+    const std::vector<obs::MetricSample>& samples) {
+  if (samples.empty()) {
+    return std::string();
+  }
+
+  // Pair up the span-derived stage counters: `stage.<name>.us` carries the
+  // accumulated wall time, `stage.<name>.count` the number of spans.
+  struct StageRow {
+    std::string name;
+    uint64_t us = 0;
+    uint64_t count = 0;
+  };
+  std::vector<StageRow> stages;
+  std::vector<const obs::MetricSample*> rest;
+  auto stage_row = [&](const std::string& stage) -> StageRow& {
+    for (StageRow& row : stages) {
+      if (row.name == stage) {
+        return row;
+      }
+    }
+    stages.push_back(StageRow{stage, 0, 0});
+    return stages.back();
+  };
+  for (const obs::MetricSample& s : samples) {
+    if (s.kind == obs::MetricSample::Kind::kCounter &&
+        s.name.rfind("stage.", 0) == 0) {
+      if (s.name.size() > 3 && s.name.ends_with(".us")) {
+        stage_row(s.name.substr(6, s.name.size() - 9)).us = s.counter_value;
+        continue;
+      }
+      if (s.name.size() > 6 && s.name.ends_with(".count")) {
+        stage_row(s.name.substr(6, s.name.size() - 12)).count =
+            s.counter_value;
+        continue;
+      }
+    }
+    rest.push_back(&s);
+  }
+
+  std::ostringstream out;
+  if (!stages.empty()) {
+    // Slowest stage first — the reason anyone reads this table.
+    std::stable_sort(stages.begin(), stages.end(),
+                     [](const StageRow& a, const StageRow& b) {
+                       return a.us > b.us;
+                     });
+    out << StrFormat("%-28s %8s %12s %12s\n", "Stage", "Spans", "Total ms",
+                     "Mean ms");
+    for (const StageRow& s : stages) {
+      const double total_ms = static_cast<double>(s.us) / 1000.0;
+      const double mean_ms =
+          s.count > 0 ? total_ms / static_cast<double>(s.count) : 0.0;
+      out << StrFormat("%-28s %8llu %12.3f %12.3f\n", s.name.c_str(),
+                       static_cast<unsigned long long>(s.count), total_ms,
+                       mean_ms);
+    }
+  }
+  if (!rest.empty()) {
+    if (!stages.empty()) {
+      out << "\n";
+    }
+    out << StrFormat("%-40s %s\n", "Metric", "Value");
+    for (const obs::MetricSample* s : rest) {
+      switch (s->kind) {
+        case obs::MetricSample::Kind::kCounter:
+          out << StrFormat("%-40s %s\n", s->name.c_str(),
+                           FormatWithThousands(s->counter_value).c_str());
+          break;
+        case obs::MetricSample::Kind::kGauge:
+          out << StrFormat("%-40s %lld\n", s->name.c_str(),
+                           static_cast<long long>(s->gauge_value));
+          break;
+        case obs::MetricSample::Kind::kHistogram:
+          out << StrFormat(
+              "%-40s count=%s mean=%.4f\n", s->name.c_str(),
+              FormatWithThousands(s->histogram_count).c_str(),
+              s->histogram_count > 0
+                  ? s->histogram_sum /
+                        static_cast<double>(s->histogram_count)
+                  : 0.0);
+          break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsSummaryTable(const obs::MetricsRegistry& registry) {
+  return MetricsSummaryTable(registry.Snapshot());
+}
+
 }  // namespace gva

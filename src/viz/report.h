@@ -2,9 +2,11 @@
 #define GVA_VIZ_REPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "core/rra.h"
 #include "core/rule_density_detector.h"
+#include "obs/metrics.h"
 
 namespace gva {
 
@@ -20,6 +22,16 @@ std::string DensityAnomalyTable(const DensityDetection& detection);
 /// expansion size in tokens, and mean/min/max mapped subsequence length.
 std::string RuleStatsTable(const GrammarDecomposition& decomposition,
                            size_t max_rules = 20);
+
+/// Renders a human-readable summary of a metrics snapshot: a per-stage
+/// timing table built from the `stage.<name>.us` / `stage.<name>.count`
+/// counter pairs the ScopedSpan instrumentation maintains, followed by the
+/// remaining counters/gauges/histograms. Empty string when the snapshot
+/// holds nothing (e.g. no ObsSession was active).
+std::string MetricsSummaryTable(const std::vector<obs::MetricSample>& samples);
+
+/// Convenience overload: snapshot + render in one call.
+std::string MetricsSummaryTable(const obs::MetricsRegistry& registry);
 
 }  // namespace gva
 

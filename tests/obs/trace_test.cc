@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace gva::obs {
+namespace {
+
+/// Test-scoped capture on the global tracer (the macro records there).
+class GlobalTraceCapture {
+ public:
+  GlobalTraceCapture() { GlobalTracer().Enable(); }
+  ~GlobalTraceCapture() {
+    GlobalTracer().Disable();
+    GlobalTracer().Clear();
+    SetStageTimingEnabled(false);
+  }
+};
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.RecordComplete("x", "gva", 0, 5);
+  // RecordComplete is the low-level sink and always appends; the gating
+  // lives in ScopedSpan. So this event lands:
+  EXPECT_EQ(tracer.event_count(), 1u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TracerTest, EnableClearsAndReanchors) {
+  Tracer tracer;
+  tracer.RecordComplete("stale", "gva", 0, 1);
+  tracer.Enable();
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_EQ(tracer.event_count(), 0u);
+  const uint64_t t0 = tracer.NowMicros();
+  EXPECT_LT(t0, 1000000u);  // origin re-anchored: near zero, not epoch-scale
+  tracer.Disable();
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(TracerTest, JsonIsChromeTraceShaped) {
+  Tracer tracer;
+  tracer.Enable();
+  tracer.RecordComplete("alpha", "gva", 10, 20);
+  tracer.RecordComplete("beta", "gva", 15, 5);
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 20"), std::string::npos);
+}
+
+TEST(TracerTest, ThreadsGetDenseDistinctTids) {
+  Tracer tracer;
+  tracer.Enable();
+  tracer.RecordComplete("caller", "gva", 0, 1);
+  std::thread other([&] { tracer.RecordComplete("worker", "gva", 1, 1); });
+  other.join();
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"tid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+  EXPECT_EQ(json.find("\"tid\": 2"), std::string::npos);
+}
+
+TEST(ScopedSpanTest, IdleSpanIsANoOp) {
+  GlobalTracer().Disable();
+  GlobalTracer().Clear();
+  {
+    GVA_OBS_SPAN("should.not.record");
+  }
+  EXPECT_EQ(GlobalTracer().event_count(), 0u);
+}
+
+TEST(ScopedSpanTest, NestedSpansAreContainedIntervals) {
+  GlobalTraceCapture capture;
+  {
+    ScopedSpan outer("outer");
+    {
+      ScopedSpan inner("inner");
+    }
+  }
+  if constexpr (!kEnabled) {
+    return;  // spans compile to nothing with GVA_OBS=OFF
+  }
+  ASSERT_EQ(GlobalTracer().event_count(), 2u);
+  const std::string json = GlobalTracer().ToJson();
+  // Inner is destroyed (and thus recorded) first.
+  const size_t inner_at = json.find("\"name\": \"inner\"");
+  const size_t outer_at = json.find("\"name\": \"outer\"");
+  ASSERT_NE(inner_at, std::string::npos);
+  ASSERT_NE(outer_at, std::string::npos);
+  EXPECT_LT(inner_at, outer_at);
+}
+
+TEST(ScopedSpanTest, PoolChunksRecordPerThreadSpans) {
+  GlobalTraceCapture capture;
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 4, [&](size_t, size_t, size_t) {
+    GVA_OBS_SPAN("chunk");
+  });
+  if constexpr (!kEnabled) {
+    return;
+  }
+  EXPECT_EQ(GlobalTracer().event_count(), 4u);
+  // Every span names the thread that ran it; tids are dense from 0.
+  const std::string json = GlobalTracer().ToJson();
+  EXPECT_NE(json.find("\"tid\": 0"), std::string::npos);
+}
+
+TEST(ScopedSpanTest, StageTimingFeedsTheGlobalRegistry) {
+  if constexpr (!kEnabled) {
+    return;
+  }
+  GlobalTraceCapture capture;
+  SetStageTimingEnabled(true);
+  GlobalMetrics().Reset();
+  {
+    ScopedSpan span("teststage.alpha");
+  }
+  {
+    ScopedSpan span("teststage.alpha");
+  }
+  SetStageTimingEnabled(false);
+  EXPECT_EQ(GlobalMetrics().counter("stage.teststage.alpha.count").value(),
+            2u);
+  // .us is duration-dependent; only its existence and monotonicity are
+  // stable. Two instant spans may still round to 0 microseconds.
+  EXPECT_GE(GlobalMetrics().counter("stage.teststage.alpha.us").value(), 0u);
+}
+
+}  // namespace
+}  // namespace gva::obs

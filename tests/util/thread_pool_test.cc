@@ -5,9 +5,12 @@
 #include <cstdint>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "obs/metrics.h"
 
 namespace gva {
 namespace {
@@ -128,6 +131,112 @@ TEST(ThreadPoolTest, JoinPublishesChunkWrites) {
   for (size_t i = 0; i < out.size(); ++i) {
     ASSERT_EQ(out[i], static_cast<double>(i) * 0.5);
   }
+}
+
+TEST(ThreadPoolTest, ThrowingBodyRethrowsOnCallerAndPoolSurvives) {
+  // Regression: a chunk body that throws used to leave ParallelFor's
+  // completion state torn (workers could still reference the dead frame) and
+  // an exception escaping the worker loop would std::terminate. Now the
+  // first exception must surface on the calling thread after all chunks of
+  // that ParallelFor have drained, with the pool fully usable afterwards.
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.ParallelFor(0, 64,
+                         [&](size_t begin, size_t end, size_t /*chunk*/) {
+                           ran.fetch_add(static_cast<int>(end - begin));
+                           if (begin == 0) {
+                             throw std::runtime_error("chunk failed");
+                           }
+                         }),
+        std::runtime_error)
+        << "threads " << threads;
+    // Every chunk ran to the throw point or completion — none was stranded.
+    EXPECT_EQ(ran.load(), 64) << "threads " << threads;
+
+    // The pool is reusable: the next ParallelFor still covers the range.
+    std::atomic<int> hits{0};
+    pool.ParallelFor(0, 100, [&](size_t begin, size_t end, size_t /*chunk*/) {
+      hits.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(hits.load(), 100) << "threads " << threads;
+    // Destructor must join cleanly (exercised at scope exit).
+  }
+}
+
+TEST(ThreadPoolTest, EveryChunkThrowingStillDrainsAndRethrowsOne) {
+  ThreadPool pool(4);
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(pool.ParallelFor(0, 4,
+                                [&](size_t, size_t, size_t chunk) {
+                                  attempts.fetch_add(1);
+                                  throw std::runtime_error(
+                                      "chunk " + std::to_string(chunk));
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(attempts.load(), 4);
+}
+
+TEST(ThreadPoolTest, StatsCountSubmittedExecutedAndInline) {
+  if constexpr (!obs::kEnabled) {
+    // Pool stats are telemetry: with GVA_OBS=OFF the counters are empty
+    // no-ops and stats() reads all zeros (unlike the distance-call split,
+    // which is an algorithm output and always counts).
+    ThreadPool zpool(4);
+    zpool.ParallelFor(0, 400, [&](size_t, size_t, size_t) {});
+    EXPECT_EQ(zpool.stats().tasks_submitted, 0u);
+    EXPECT_EQ(zpool.stats().tasks_inline, 0u);
+    GTEST_SKIP() << "pool stats compile to no-ops with GVA_OBS=OFF";
+  }
+  ThreadPool pool(4);
+  const ThreadPool::Stats before = pool.stats();
+  EXPECT_EQ(before.tasks_submitted, 0u);
+  EXPECT_EQ(before.tasks_inline, 0u);
+
+  constexpr int kRounds = 10;
+  for (int round = 0; round < kRounds; ++round) {
+    pool.ParallelFor(0, 400, [&](size_t, size_t, size_t) {});
+  }
+  const ThreadPool::Stats after = pool.stats();
+  // 4 lanes over 400 indices → 3 queued chunks + 1 inline chunk per round.
+  EXPECT_EQ(after.tasks_submitted, static_cast<uint64_t>(3 * kRounds));
+  EXPECT_EQ(after.tasks_inline, static_cast<uint64_t>(kRounds));
+  // Every queued task ran somewhere: a worker or the stealing caller.
+  EXPECT_EQ(after.tasks_executed + after.tasks_stolen, after.tasks_submitted);
+  EXPECT_GE(after.max_queue_depth, 1u);
+  EXPECT_LE(after.max_queue_depth, 3u);
+}
+
+TEST(ThreadPoolTest, SingleLaneStatsAreInlineOnly) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "pool stats compile to no-ops with GVA_OBS=OFF";
+  }
+  ThreadPool pool(1);
+  pool.ParallelFor(0, 100, [&](size_t, size_t, size_t) {});
+  const ThreadPool::Stats s = pool.stats();
+  EXPECT_EQ(s.tasks_inline, 1u);
+  EXPECT_EQ(s.tasks_submitted, 0u);
+  EXPECT_EQ(s.tasks_executed, 0u);
+  EXPECT_EQ(s.tasks_stolen, 0u);
+  EXPECT_EQ(s.max_queue_depth, 0u);
+}
+
+TEST(ThreadPoolTest, ExportStatsAccumulatesIntoRegistry) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "pool stats compile to no-ops with GVA_OBS=OFF";
+  }
+  obs::MetricsRegistry registry;
+  {
+    ThreadPool pool(2);
+    pool.ParallelFor(0, 64, [&](size_t, size_t, size_t) {});
+    pool.ExportStats(registry, "pool");
+  }
+  EXPECT_EQ(registry.counter("pool.tasks.submitted").value(), 1u);
+  EXPECT_EQ(registry.counter("pool.tasks.inline").value(), 1u);
+  EXPECT_EQ(registry.counter("pool.tasks.executed").value() +
+                registry.counter("pool.tasks.stolen").value(),
+            1u);
 }
 
 }  // namespace
