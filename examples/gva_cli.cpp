@@ -1,8 +1,9 @@
 // gva_cli — command-line front end for the library.
 //
-//   gva_cli density <series.csv> [options]   rule-density anomaly discovery
-//   gva_cli rra     <series.csv> [options]   RRA variable-length discords
-//   gva_cli profile <series.csv> [options]   parameter-grid profiling
+//   gva_cli density  <series.csv> [options]  rule-density anomaly discovery
+//   gva_cli rra      <series.csv> [options]  RRA variable-length discords
+//   gva_cli ensemble <series.csv> [options]  multi-config ensemble scoring
+//   gva_cli profile  <series.csv> [options]  parameter-grid profiling
 //
 // The input may be a CSV path or one of the built-in synthetic datasets
 // ("demo:ecg", "demo:power"), which makes the CLI runnable with no files.
@@ -15,9 +16,18 @@
 //   --top N         anomalies/discords to report (default 3)
 //   --threshold F   density threshold fraction (default 0.05)
 //   --approx        rra: paper's interval-aligned inner loop (no exact tail)
-//   --threads N     rra: search threads (0 = all cores; default 1);
-//                   discords are identical for every value
+//   --threads N     rra/ensemble: worker threads (0 = all cores; default 1);
+//                   results are identical for every value
 //   --csv-out PATH  write the density curve next to the series as CSV
+//
+// Ensemble options (also reachable as `density --ensemble`):
+//   --grid SPEC     configuration grid, e.g. --grid w:80,160,paa:4,8,a:3,6
+//                   (groups: w/window, paa, a/alphabet; a missing group
+//                   falls back to the resolved single value). Without
+//                   --grid and without explicit --window/--paa/--alphabet,
+//                   an automatic grid around the suggested window is used.
+//   --no-share      disable substrate sharing (per-config pipelines; same
+//                   results, used for benchmarking the shared path)
 //
 // Observability (see DESIGN.md §6):
 //   --trace PATH    capture a Chrome trace-event JSON (chrome://tracing)
@@ -37,6 +47,7 @@
 #include "core/rra.h"
 #include "core/rule_density_detector.h"
 #include "datasets/ecg.h"
+#include "ensemble/ensemble.h"
 #include "datasets/power_demand.h"
 #include "obs/session.h"
 #include "timeseries/io.h"
@@ -70,16 +81,18 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gva_cli <density|rra|profile> <series.csv|demo:ecg|"
-               "demo:power> "
+               "usage: gva_cli <density|rra|ensemble|profile> "
+               "<series.csv|demo:ecg|demo:power> "
                "[--window N --paa N --alphabet N --column N --top N "
                "--threshold F --approx --threads N --csv-out PATH "
+               "--ensemble --grid SPEC --no-share "
                "--trace PATH --metrics PATH --quiet]\n");
   return 2;
 }
 
 bool IsBooleanFlag(const std::string& flag) {
-  return flag == "approx" || flag == "quiet";
+  return flag == "approx" || flag == "quiet" || flag == "ensemble" ||
+         flag == "no-share";
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -209,6 +222,133 @@ int RunRra(const Args& args, const TimeSeries& series) {
   return 0;
 }
 
+/// Parses a --grid spec of the form `w:80,160,paa:4,8,a:3,6`. A comma
+/// token containing ':' opens a new group (w/window, paa/p, a/alphabet);
+/// the values after it belong to that group until the next key. Groups the
+/// spec leaves out are filled from `fallback` so e.g. `--grid a:3,4,5`
+/// sweeps only the alphabet. Returns false on a malformed spec.
+bool ParseGridSpec(const std::string& spec, const SaxOptions& fallback,
+                   std::vector<EnsembleConfig>* grid) {
+  std::vector<size_t> windows;
+  std::vector<size_t> paas;
+  std::vector<size_t> alphabets;
+  std::vector<size_t>* current = nullptr;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    std::string token = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) {
+      continue;
+    }
+    if (const size_t colon = token.find(':'); colon != std::string::npos) {
+      const std::string key = token.substr(0, colon);
+      if (key == "w" || key == "window") {
+        current = &windows;
+      } else if (key == "paa" || key == "p") {
+        current = &paas;
+      } else if (key == "a" || key == "alphabet") {
+        current = &alphabets;
+      } else {
+        return false;
+      }
+      token = token.substr(colon + 1);
+      if (token.empty()) {
+        continue;
+      }
+    }
+    if (current == nullptr) {
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || value == 0) {
+      return false;
+    }
+    current->push_back(static_cast<size_t>(value));
+  }
+  if (windows.empty()) {
+    windows.push_back(fallback.window);
+  }
+  if (paas.empty()) {
+    paas.push_back(fallback.paa_size);
+  }
+  if (alphabets.empty()) {
+    alphabets.push_back(fallback.alphabet_size);
+  }
+  *grid = MakeEnsembleGrid(windows, paas, alphabets);
+  return true;
+}
+
+int RunEnsembleCommand(const Args& args, const TimeSeries& series) {
+  const bool quiet = args.has_flag("quiet");
+  EnsembleOptions options;
+  options.anomaly.threshold_fraction = args.get_double("threshold", 0.05);
+  options.anomaly.max_anomalies = args.get_size("top", 3);
+  options.num_threads = args.get_size("threads", 1);
+  options.share_substrate = !args.has_flag("no-share");
+
+  const bool single_config_flags = args.has_flag("window") ||
+                                   args.has_flag("paa") ||
+                                   args.has_flag("alphabet");
+  if (args.has_flag("grid")) {
+    StatusOr<SaxOptions> fallback = ResolveSax(args, series);
+    if (!fallback.ok()) {
+      std::fprintf(stderr, "%s\n", fallback.status().ToString().c_str());
+      return 1;
+    }
+    if (!ParseGridSpec(args.options.at("grid"), *fallback,
+                       &options.configs)) {
+      std::fprintf(stderr,
+                   "malformed --grid spec '%s' (expected e.g. "
+                   "w:80,160,paa:4,8,a:3,6)\n",
+                   args.options.at("grid").c_str());
+      return 1;
+    }
+  } else if (single_config_flags) {
+    StatusOr<SaxOptions> sax = ResolveSax(args, series);
+    if (!sax.ok()) {
+      std::fprintf(stderr, "%s\n", sax.status().ToString().c_str());
+      return 1;
+    }
+    options.configs.push_back(
+        EnsembleConfig{sax->window, sax->paa_size, sax->alphabet_size});
+  }
+  // else: leave configs empty -> AutoEnsembleGrid inside RunEnsemble.
+
+  auto detection = RunEnsemble(series, options);
+  if (!detection.ok()) {
+    std::fprintf(stderr, "%s\n", detection.status().ToString().c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::vector<Interval> highlights;
+    for (const EnsembleAnomaly& a : detection->anomalies) {
+      highlights.push_back(a.span);
+    }
+    std::printf("%s\n", RenderSeries(series, highlights).c_str());
+    std::printf("%s\n", EnsembleConfigTable(*detection).c_str());
+  }
+  std::printf("%s", EnsembleAnomalyTable(*detection).c_str());
+  if (args.has_flag("csv-out")) {
+    Status written =
+        WriteCsvColumns(args.options.at("csv-out"),
+                        {"value", "ensemble_score"},
+                        {series.values(), detection->score});
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("wrote %s\n", args.options.at("csv-out").c_str());
+    }
+  }
+  return 0;
+}
+
 int RunProfile(const Args& args, const TimeSeries& series) {
   (void)args;
   auto profiles = SweepParameterGrid(series, {});
@@ -268,7 +408,10 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 1;
-  if (args.command == "density") {
+  if (args.command == "ensemble" ||
+      (args.command == "density" && args.has_flag("ensemble"))) {
+    exit_code = RunEnsembleCommand(args, *series);
+  } else if (args.command == "density") {
     exit_code = RunDensity(args, *series);
   } else if (args.command == "rra") {
     exit_code = RunRra(args, *series);

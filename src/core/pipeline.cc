@@ -4,16 +4,11 @@
 
 namespace gva {
 
-StatusOr<GrammarDecomposition> DecomposeSeries(std::span<const double> series,
-                                               const SaxOptions& options) {
-  GVA_OBS_SPAN("pipeline.decompose");
-  GrammarDecomposition out;
-  out.series_length = series.size();
-  out.window = options.window;
-  {
-    GVA_OBS_SPAN("sax.discretize");
-    GVA_ASSIGN_OR_RETURN(out.records, Discretize(series, options));
-  }
+namespace {
+
+/// Sequitur -> interval mapping -> density, over `out.records` in place.
+Status DecomposeTail(std::span<const double> series, const SaxOptions& options,
+                     GrammarDecomposition& out) {
   {
     GVA_OBS_SPAN("grammar.sequitur");
     GVA_ASSIGN_OR_RETURN(out.grammar,
@@ -33,6 +28,35 @@ StatusOr<GrammarDecomposition> DecomposeSeries(std::span<const double> series,
   metrics.counter("pipeline.sax.words").Add(out.records.size());
   metrics.counter("pipeline.grammar.rules").Add(out.grammar.grammar.size());
   metrics.counter("pipeline.grammar.intervals").Add(out.intervals.size());
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<GrammarDecomposition> DecomposeSeries(std::span<const double> series,
+                                               const SaxOptions& options) {
+  GVA_OBS_SPAN("pipeline.decompose");
+  GrammarDecomposition out;
+  out.series_length = series.size();
+  out.window = options.window;
+  {
+    GVA_OBS_SPAN("sax.discretize");
+    GVA_ASSIGN_OR_RETURN(out.records, Discretize(series, options));
+  }
+  GVA_RETURN_IF_ERROR(DecomposeTail(series, options, out));
+  return out;
+}
+
+StatusOr<GrammarDecomposition> DecomposeSeriesWithRecords(
+    std::span<const double> series, const SaxOptions& options,
+    SaxRecords records) {
+  GVA_OBS_SPAN("pipeline.decompose");
+  GVA_RETURN_IF_ERROR(options.Validate());
+  GrammarDecomposition out;
+  out.series_length = series.size();
+  out.window = options.window;
+  out.records = std::move(records);
+  GVA_RETURN_IF_ERROR(DecomposeTail(series, options, out));
   return out;
 }
 

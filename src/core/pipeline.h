@@ -29,6 +29,15 @@ struct GrammarDecomposition {
 StatusOr<GrammarDecomposition> DecomposeSeries(std::span<const double> series,
                                                const SaxOptions& options);
 
+/// The decomposition tail for callers that already discretized the series
+/// (e.g. the ensemble engine, whose substrate cache produces SaxRecords
+/// from a shared z-plane): Sequitur -> interval mapping -> density curve.
+/// `records` must be the discretization of `series` under `options`;
+/// given that, the result is identical to DecomposeSeries(series, options).
+StatusOr<GrammarDecomposition> DecomposeSeriesWithRecords(
+    std::span<const double> series, const SaxOptions& options,
+    SaxRecords records);
+
 }  // namespace gva
 
 #endif  // GVA_CORE_PIPELINE_H_

@@ -11,11 +11,7 @@
 
 namespace gva {
 
-namespace {
-
-/// Candidate list assembled from the decomposition: rule intervals plus
-/// zero-coverage gaps, with basic sanity filtering.
-std::vector<RuleInterval> BuildCandidates(
+std::vector<RuleInterval> BuildRraCandidates(
     const GrammarDecomposition& decomposition, const RraOptions& options) {
   std::vector<RuleInterval> candidates;
   candidates.reserve(decomposition.intervals.size() + 8);
@@ -43,6 +39,8 @@ std::vector<RuleInterval> BuildCandidates(
   }
   return candidates;
 }
+
+namespace {
 
 struct SearchState {
   const std::vector<RuleInterval>* candidates = nullptr;
@@ -329,7 +327,7 @@ StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
         "series/decomposition length mismatch");
   }
   std::vector<RuleInterval> candidates =
-      BuildCandidates(decomposition, options);
+      BuildRraCandidates(decomposition, options);
   DiscordResult result;
   if (candidates.empty()) {
     return result;

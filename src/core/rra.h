@@ -68,6 +68,15 @@ struct RraDetection {
 StatusOr<RraDetection> FindRraDiscords(std::span<const double> series,
                                        const RraOptions& options);
 
+/// The candidate-interval assembly step of the RRA search: rule intervals
+/// (length >= 2, in bounds) plus zero-coverage gaps of the density curve,
+/// subject to `options`' gap filtering. This is exactly the candidate set
+/// FindRraDiscordsInDecomposition searches, exposed so differential tests
+/// can compare the search result against an exhaustive scan over the same
+/// candidates.
+std::vector<RuleInterval> BuildRraCandidates(
+    const GrammarDecomposition& decomposition, const RraOptions& options);
+
 /// The search step alone, over an existing decomposition. Used by the
 /// parameter-grid experiment (Figure 10) where both detectors share one
 /// decomposition per parameter combination.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "obs/trace.h"
 #include "sax/mindist.h"
@@ -10,6 +11,7 @@
 #include "timeseries/rolling_stats.h"
 #include "timeseries/sliding_window.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace gva {
 
@@ -55,6 +57,29 @@ namespace {
 
 constexpr double kMachEps = std::numeric_limits<double>::epsilon();
 
+/// Maps a row of z-space PAA values to letters under `alphabet`, guarding
+/// each value against the breakpoints adjacent to its chosen region: the
+/// reference path's value differs from z[j] by at most err[j], so a value
+/// that close to a cut could land on the other side there. Returns false
+/// when any guard fires (caller must use the reference path). Shared by the
+/// inline fast path and the precomputed-plane path so their decisions are
+/// identical by construction.
+bool MapLettersFromZ(const double* z, const double* err, size_t paa,
+                     const NormalAlphabet& alphabet, std::string& word) {
+  const auto& cuts = alphabet.breakpoints();
+  for (size_t j = 0; j < paa; ++j) {
+    const size_t idx = alphabet.IndexOf(z[j]);
+    if (idx > 0 && z[j] - cuts[idx - 1] <= err[j]) {
+      return false;
+    }
+    if (idx < cuts.size() && cuts[idx] - z[j] <= err[j]) {
+      return false;
+    }
+    word[j] = NormalAlphabet::IndexFor('a', idx);
+  }
+  return true;
+}
+
 /// Incremental per-window discretization state shared across all window
 /// positions: the series prefix sums plus the per-segment PAA geometry,
 /// which depends only on (window, paa_size) and is precomputed once.
@@ -72,11 +97,19 @@ constexpr double kMachEps = std::numeric_limits<double>::epsilon();
 /// orders of magnitude below typical breakpoint clearances).
 class IncrementalDiscretizer {
  public:
+  /// `shared_stats`, when non-null, must be a RollingStats over exactly
+  /// `series`; the discretizer then skips its own prefix-sum build. The
+  /// prefix arrays are deterministic functions of the series, so shared and
+  /// owned tables yield bit-identical words.
   IncrementalDiscretizer(std::span<const double> series,
                          const SaxOptions& opts,
-                         const NormalAlphabet& alphabet)
+                         const NormalAlphabet& alphabet,
+                         const RollingStats* shared_stats = nullptr)
       : series_(series),
-        stats_(series),
+        owned_stats_(shared_stats == nullptr
+                         ? std::optional<RollingStats>(std::in_place, series)
+                         : std::nullopt),
+        stats_(shared_stats != nullptr ? shared_stats : &*owned_stats_),
         opts_(opts),
         alphabet_(alphabet),
         window_(opts.window),
@@ -109,6 +142,65 @@ class IncrementalDiscretizer {
     }
   }
 
+  /// The alphabet-independent half of the fast path: the z-space PAA values
+  /// of the window at `pos` and their error bounds, written to z[0..paa)
+  /// and err[0..paa). Returns false when the flat-window decision falls
+  /// inside its numerical guard (the row must use the reference path).
+  /// Const and writes only through the caller's pointers, so concurrent
+  /// calls on one instance are race-free.
+  bool ZRowAt(size_t pos, double* z, double* err) const {
+    const double n = static_cast<double>(window_);
+    const RollingStats::Moments m = stats_->MomentsOf(pos, window_);
+    const double sd = std::sqrt(m.variance);
+
+    // Error bounds for the prefix-derived window statistics versus the
+    // reference's naive summation.
+    const double mean_err = stats_->RangeSumErrorBound(pos, window_) / n;
+    const double var_err = stats_->RangeSumSqErrorBound(pos, window_) / n +
+                           (2.0 * std::abs(m.mean) + mean_err) * mean_err;
+    const double sd_err =
+        m.variance > var_err ? var_err / sd : std::sqrt(var_err);
+
+    // Guard the flat-window decision itself.
+    if (std::abs(sd - opts_.znorm_epsilon) <= sd_err) {
+      return false;
+    }
+    const bool flat = sd < opts_.znorm_epsilon;
+    const double inv = flat ? 1.0 : 1.0 / sd;
+    // Relative error of `inv`, as an absolute error per unit of |z|.
+    const double inv_rel_err = flat ? 0.0 : sd_err * inv;
+
+    for (size_t j = 0; j < paa_; ++j) {
+      double seg_mean;
+      double seg_err;
+      if (divisible_) {
+        if (step_ == 1) {
+          seg_mean = series_[pos + j];
+          seg_err = 0.0;
+        } else {
+          const size_t seg_pos = pos + j * step_;
+          seg_mean =
+              stats_->Sum(seg_pos, step_) / static_cast<double>(step_);
+          seg_err = stats_->RangeSumErrorBound(seg_pos, step_) /
+                    static_cast<double>(step_);
+        }
+      } else {
+        const Segment& seg = segments_[j];
+        double sum_err = 0.0;
+        seg_mean =
+            FractionalSegmentSum(pos, seg, &sum_err) / (seg.hi - seg.lo);
+        seg_err = sum_err / (seg.hi - seg.lo);
+      }
+      // The last term covers the reference path's own rounding: it sums up
+      // to `window` z-space values per segment, each O(|z|).
+      z[j] = (seg_mean - m.mean) * inv;
+      err[j] = (seg_err + mean_err) * inv + std::abs(z[j]) * inv_rel_err +
+               (16.0 + static_cast<double>(window_)) * kMachEps *
+                   (1.0 + std::abs(z[j]));
+    }
+    return true;
+  }
+
  private:
   struct Segment {
     double lo;
@@ -135,9 +227,9 @@ class IncrementalDiscretizer {
     double bound = 4.0 * kMachEps * std::abs(x_first);
     const size_t full_begin = seg.first + 1;
     if (seg.last > full_begin) {
-      sum += stats_.Sum(pos + full_begin, seg.last - full_begin);
-      bound += stats_.RangeSumErrorBound(pos + full_begin,
-                                         seg.last - full_begin);
+      sum += stats_->Sum(pos + full_begin, seg.last - full_begin);
+      bound += stats_->RangeSumErrorBound(pos + full_begin,
+                                          seg.last - full_begin);
     }
     const double frac = seg.hi - static_cast<double>(seg.last);
     if (frac > 0.0) {
@@ -149,76 +241,21 @@ class IncrementalDiscretizer {
     return sum;
   }
 
-  /// The O(paa_size) fast path. Returns false when any decision falls
-  /// within its numerical guard and the caller must use the reference.
+  /// The O(paa_size) fast path: z row + letter mapping. Returns false when
+  /// any decision falls within its numerical guard and the caller must use
+  /// the reference.
   bool FastWordAt(size_t pos, std::string& word) const {
-    const double n = static_cast<double>(window_);
-    const RollingStats::Moments m = stats_.MomentsOf(pos, window_);
-    const double sd = std::sqrt(m.variance);
-
-    // Error bounds for the prefix-derived window statistics versus the
-    // reference's naive summation.
-    const double mean_err = stats_.RangeSumErrorBound(pos, window_) / n;
-    const double var_err = stats_.RangeSumSqErrorBound(pos, window_) / n +
-                           (2.0 * std::abs(m.mean) + mean_err) * mean_err;
-    const double sd_err =
-        m.variance > var_err ? var_err / sd : std::sqrt(var_err);
-
-    // Guard the flat-window decision itself.
-    if (std::abs(sd - opts_.znorm_epsilon) <= sd_err) {
-      return false;
-    }
-    const bool flat = sd < opts_.znorm_epsilon;
-    const double inv = flat ? 1.0 : 1.0 / sd;
-    // Relative error of `inv`, as an absolute error per unit of |z|.
-    const double inv_rel_err = flat ? 0.0 : sd_err * inv;
-
-    const auto& cuts = alphabet_.breakpoints();
-    for (size_t j = 0; j < paa_; ++j) {
-      double seg_mean;
-      double seg_err;
-      if (divisible_) {
-        if (step_ == 1) {
-          seg_mean = series_[pos + j];
-          seg_err = 0.0;
-        } else {
-          const size_t seg_pos = pos + j * step_;
-          seg_mean =
-              stats_.Sum(seg_pos, step_) / static_cast<double>(step_);
-          seg_err = stats_.RangeSumErrorBound(seg_pos, step_) /
-                    static_cast<double>(step_);
-        }
-      } else {
-        const Segment& seg = segments_[j];
-        double sum_err = 0.0;
-        seg_mean =
-            FractionalSegmentSum(pos, seg, &sum_err) / (seg.hi - seg.lo);
-        seg_err = sum_err / (seg.hi - seg.lo);
-      }
-      // The last term covers the reference path's own rounding: it sums up
-      // to `window` z-space values per segment, each O(|z|).
-      const double z = (seg_mean - m.mean) * inv;
-      const double z_err =
-          (seg_err + mean_err) * inv + std::abs(z) * inv_rel_err +
-          (16.0 + static_cast<double>(window_)) * kMachEps *
-              (1.0 + std::abs(z));
-      const size_t idx = alphabet_.IndexOf(z);
-      // Guard against the breakpoints adjacent to the chosen region: the
-      // reference's value differs from `z` by at most z_err, so a value
-      // that close to a cut could land on the other side there.
-      if (idx > 0 && z - cuts[idx - 1] <= z_err) {
-        return false;
-      }
-      if (idx < cuts.size() && cuts[idx] - z <= z_err) {
-        return false;
-      }
-      word[j] = NormalAlphabet::IndexFor('a', idx);
-    }
-    return true;
+    thread_local std::vector<double> z;
+    thread_local std::vector<double> err;
+    z.resize(paa_);
+    err.resize(paa_);
+    return ZRowAt(pos, z.data(), err.data()) &&
+           MapLettersFromZ(z.data(), err.data(), paa_, alphabet_, word);
   }
 
   std::span<const double> series_;
-  RollingStats stats_;
+  std::optional<RollingStats> owned_stats_;
+  const RollingStats* stats_;
   const SaxOptions& opts_;
   const NormalAlphabet& alphabet_;
   size_t window_;
@@ -227,6 +264,26 @@ class IncrementalDiscretizer {
   size_t step_;
   std::vector<Segment> segments_;  // only for the non-divisible case
 };
+
+/// The numerosity-reduction decision (paper Section 3.2): whether `word`
+/// is recorded given the previously recorded word. Shared by the inline
+/// and precomputed-plane discretization loops.
+bool KeepWord(const SaxRecords& records, const std::string& word,
+              NumerosityReduction numerosity, const NormalAlphabet& alphabet) {
+  if (records.words.empty()) {
+    return true;
+  }
+  const std::string& prev = records.words.back();
+  switch (numerosity) {
+    case NumerosityReduction::kNone:
+      return true;
+    case NumerosityReduction::kExact:
+      return word != prev;
+    case NumerosityReduction::kMinDist:
+      return !MinDistIsZero(word, prev, alphabet);
+  }
+  return true;
+}
 
 StatusOr<SaxRecords> DiscretizeImpl(std::span<const double> series,
                                     const SaxOptions& opts,
@@ -255,21 +312,7 @@ StatusOr<SaxRecords> DiscretizeImpl(std::span<const double> series,
   std::string word(opts.paa_size, 'a');
   for (size_t pos = 0; pos < windows; ++pos) {
     discretizer.WordAt(pos, word);
-    bool keep = true;
-    if (!records.words.empty()) {
-      const std::string& prev = records.words.back();
-      switch (numerosity) {
-        case NumerosityReduction::kNone:
-          break;
-        case NumerosityReduction::kExact:
-          keep = (word != prev);
-          break;
-        case NumerosityReduction::kMinDist:
-          keep = !MinDistIsZero(word, prev, alphabet);
-          break;
-      }
-    }
-    if (keep) {
+    if (KeepWord(records, word, numerosity, alphabet)) {
       records.words.push_back(word);
       records.offsets.push_back(pos);
     }
@@ -287,6 +330,96 @@ StatusOr<SaxRecords> Discretize(std::span<const double> series,
 StatusOr<SaxRecords> DiscretizeAllWindows(std::span<const double> series,
                                           const SaxOptions& opts) {
   return DiscretizeImpl(series, opts, NumerosityReduction::kNone);
+}
+
+StatusOr<SaxZPlane> ComputeSaxZPlane(std::span<const double> series,
+                                     const SaxOptions& opts,
+                                     const RollingStats* shared_stats,
+                                     ThreadPool* pool) {
+  GVA_RETURN_IF_ERROR(opts.Validate());
+  if (series.size() < opts.window) {
+    return Status::InvalidArgument(
+        StrFormat("series length %zu shorter than window %zu", series.size(),
+                  opts.window));
+  }
+  if (shared_stats != nullptr && shared_stats->size() != series.size()) {
+    return Status::InvalidArgument(
+        StrFormat("shared RollingStats covers %zu points, series has %zu",
+                  shared_stats->size(), series.size()));
+  }
+  GVA_OBS_SPAN("sax.zplane");
+  const NormalAlphabet alphabet(opts.alphabet_size);
+  const IncrementalDiscretizer discretizer(series, opts, alphabet,
+                                           shared_stats);
+  SaxZPlane plane;
+  plane.window = opts.window;
+  plane.paa_size = opts.paa_size;
+  plane.znorm_epsilon = opts.znorm_epsilon;
+  plane.positions = NumSlidingWindows(series.size(), opts.window);
+  plane.z.resize(plane.positions * plane.paa_size);
+  plane.z_err.resize(plane.positions * plane.paa_size);
+  plane.fallback.assign(plane.positions, 0);
+  const auto rows = [&](size_t row_begin, size_t row_end, size_t /*chunk*/) {
+    for (size_t pos = row_begin; pos < row_end; ++pos) {
+      double* z = plane.z.data() + pos * plane.paa_size;
+      double* err = plane.z_err.data() + pos * plane.paa_size;
+      if (!discretizer.ZRowAt(pos, z, err)) {
+        plane.fallback[pos] = 1;
+      }
+    }
+  };
+  if (pool != nullptr) {
+    // Rows are independent pure functions of the prefix sums, so the plane
+    // is bit-identical for every thread count.
+    pool->ParallelFor(0, plane.positions, rows);
+  } else {
+    rows(0, plane.positions, 0);
+  }
+  for (const uint8_t f : plane.fallback) {
+    plane.fallback_rows += f;
+  }
+  return plane;
+}
+
+StatusOr<SaxRecords> DiscretizeWithZPlane(std::span<const double> series,
+                                          const SaxOptions& opts,
+                                          const SaxZPlane& plane) {
+  GVA_RETURN_IF_ERROR(opts.Validate());
+  if (series.size() < opts.window) {
+    return Status::InvalidArgument(
+        StrFormat("series length %zu shorter than window %zu", series.size(),
+                  opts.window));
+  }
+  const size_t windows = NumSlidingWindows(series.size(), opts.window);
+  if (!plane.Matches(opts) || plane.positions != windows) {
+    return Status::InvalidArgument(StrFormat(
+        "z-plane geometry (w=%zu paa=%zu eps=%g rows=%zu) does not match "
+        "options (w=%zu paa=%zu eps=%g rows=%zu)",
+        plane.window, plane.paa_size, plane.znorm_epsilon, plane.positions,
+        opts.window, opts.paa_size, opts.znorm_epsilon, windows));
+  }
+  GVA_OBS_SPAN("sax.words");
+  const NormalAlphabet alphabet(opts.alphabet_size);
+  SaxRecords records;
+  records.words.reserve(windows);
+  records.offsets.reserve(windows);
+  std::string word(opts.paa_size, 'a');
+  for (size_t pos = 0; pos < windows; ++pos) {
+    const bool fast =
+        plane.fallback[pos] == 0 &&
+        MapLettersFromZ(plane.z.data() + pos * plane.paa_size,
+                        plane.z_err.data() + pos * plane.paa_size,
+                        plane.paa_size, alphabet, word);
+    if (!fast) {
+      word = SaxWordForWindow(WindowAt(series, pos, opts.window), opts,
+                              alphabet);
+    }
+    if (KeepWord(records, word, opts.numerosity, alphabet)) {
+      records.words.push_back(word);
+      records.offsets.push_back(pos);
+    }
+  }
+  return records;
 }
 
 }  // namespace gva

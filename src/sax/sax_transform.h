@@ -1,6 +1,7 @@
 #ifndef GVA_SAX_SAX_TRANSFORM_H_
 #define GVA_SAX_SAX_TRANSFORM_H_
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -11,6 +12,9 @@
 #include "util/statusor.h"
 
 namespace gva {
+
+class RollingStats;
+class ThreadPool;
 
 /// How consecutive identical SAX words are collapsed (paper Section 3.2).
 enum class NumerosityReduction {
@@ -69,6 +73,60 @@ StatusOr<SaxRecords> Discretize(std::span<const double> series,
 /// per window position. Used by HOTSAX.
 StatusOr<SaxRecords> DiscretizeAllWindows(std::span<const double> series,
                                           const SaxOptions& opts);
+
+/// The alphabet-independent half of sliding-window discretization: for every
+/// window position, the z-space PAA values of the window's segments together
+/// with the conservative error bounds the incremental kernel derives for
+/// them. Depends only on (window, paa_size, znorm_epsilon) — NOT on the
+/// alphabet — so one plane is reusable by every discretization that differs
+/// only in alphabet size (the ensemble engine's cache key). Rows whose
+/// flat-window decision fell inside its numerical guard carry no z values
+/// and are marked `fallback`; consumers recompute those windows through the
+/// reference path (SaxWordForWindow), exactly as Discretize() itself does.
+struct SaxZPlane {
+  size_t window = 0;
+  size_t paa_size = 0;
+  double znorm_epsilon = kDefaultZNormEpsilon;
+  /// Number of sliding-window positions (rows).
+  size_t positions = 0;
+  /// positions x paa_size, row-major. Valid only where !fallback[row].
+  std::vector<double> z;
+  /// Conservative bound on each z value's divergence from the reference
+  /// path's arithmetic; same layout as `z`.
+  std::vector<double> z_err;
+  /// 1 = the stats guard fired for this row; use the reference path.
+  std::vector<uint8_t> fallback;
+  /// Number of rows with fallback == 1 (diagnostic).
+  size_t fallback_rows = 0;
+
+  /// Whether this plane matches `opts`' alphabet-independent geometry.
+  bool Matches(const SaxOptions& opts) const {
+    return window == opts.window && paa_size == opts.paa_size &&
+           znorm_epsilon == opts.znorm_epsilon;
+  }
+};
+
+/// Computes the z-plane of `series` under `opts` (the alphabet_size field
+/// is validated but otherwise unused). `shared_stats`, when non-null, must
+/// be a RollingStats built over exactly `series`; passing it skips the
+/// per-call prefix-sum build so many configs can share one table. `pool`,
+/// when non-null, parallelizes the row loop (rows are independent pure
+/// functions of the prefix sums, so the plane is bit-identical for every
+/// thread count).
+StatusOr<SaxZPlane> ComputeSaxZPlane(std::span<const double> series,
+                                     const SaxOptions& opts,
+                                     const RollingStats* shared_stats = nullptr,
+                                     ThreadPool* pool = nullptr);
+
+/// Sliding-window discretization that reads PAA z values from a
+/// precomputed plane instead of recomputing them per window. Letter mapping
+/// still guards against `opts`' alphabet breakpoints and falls back to the
+/// reference path when a value is too close to a cut, so the output is
+/// byte-identical to Discretize(series, opts) for every input. Fails when
+/// the plane's geometry does not match `opts`.
+StatusOr<SaxRecords> DiscretizeWithZPlane(std::span<const double> series,
+                                          const SaxOptions& opts,
+                                          const SaxZPlane& plane);
 
 }  // namespace gva
 

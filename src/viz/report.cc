@@ -38,6 +38,44 @@ std::string DensityAnomalyTable(const DensityDetection& detection) {
   return out.str();
 }
 
+std::string EnsembleAnomalyTable(const EnsembleDetection& detection) {
+  std::ostringstream out;
+  out << StrFormat("%-5s %-16s %-8s %-10s %s\n", "Rank", "Interval", "Length",
+                   "MinScore", "MeanScore");
+  for (const EnsembleAnomaly& a : detection.anomalies) {
+    out << StrFormat("%-5zu [%zu, %zu)%*s %-8zu %-10.4f %.4f\n", a.rank,
+                     a.span.start, a.span.end, 0, "", a.span.length(),
+                     a.min_score, a.mean_score);
+  }
+  return out.str();
+}
+
+std::string EnsembleConfigTable(const EnsembleDetection& detection) {
+  std::ostringstream out;
+  out << StrFormat("%-8s %-5s %-5s %-8s %-7s %-10s %-8s %s\n", "Window",
+                   "PAA", "Alpha", "Words", "Rules", "Intervals", "Wall ms",
+                   "Substrate");
+  for (const EnsembleConfigResult& c : detection.configs) {
+    if (!c.ok) {
+      out << StrFormat("%-8zu %-5zu %-5zu skipped: %s\n", c.config.window,
+                       c.config.paa_size, c.config.alphabet_size,
+                       c.error.c_str());
+      continue;
+    }
+    out << StrFormat("%-8zu %-5zu %-5zu %-8zu %-7zu %-10zu %-8.2f %s\n",
+                     c.config.window, c.config.paa_size,
+                     c.config.alphabet_size, c.words, c.rules, c.intervals,
+                     static_cast<double>(c.wall_us) / 1000.0,
+                     c.cache_hit ? "cache hit" : "computed");
+  }
+  out << StrFormat(
+      "configs used: %zu/%zu, z-plane cache: %llu hits / %llu misses\n",
+      detection.configs_used, detection.configs.size(),
+      static_cast<unsigned long long>(detection.cache_hits),
+      static_cast<unsigned long long>(detection.cache_misses));
+  return out.str();
+}
+
 std::string RuleStatsTable(const GrammarDecomposition& decomposition,
                            size_t max_rules) {
   // Aggregate per-rule interval statistics.

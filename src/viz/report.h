@@ -6,6 +6,7 @@
 
 #include "core/rra.h"
 #include "core/rule_density_detector.h"
+#include "ensemble/ensemble.h"
 #include "obs/metrics.h"
 
 namespace gva {
@@ -17,6 +18,15 @@ std::string DiscordTable(const RraDetection& detection);
 /// Renders the rule-density anomaly report (paper Figure 12): ranked
 /// low-density intervals with their density statistics.
 std::string DensityAnomalyTable(const DensityDetection& detection);
+
+/// Renders the ranked ensemble anomaly report: low-score intervals of the
+/// aggregated surface with their score statistics.
+std::string EnsembleAnomalyTable(const EnsembleDetection& detection);
+
+/// Renders the per-config pane of an ensemble run: one line per grid point
+/// with its pipeline statistics, wall time, and substrate-cache outcome,
+/// followed by a cache-accounting summary line.
+std::string EnsembleConfigTable(const EnsembleDetection& detection);
 
 /// Renders the grammar-rules pane: one line per rule with use count,
 /// expansion size in tokens, and mean/min/max mapped subsequence length.

@@ -171,6 +171,82 @@ TEST(BlockedDistanceTest, FastPathAndLimitedPathAgree) {
   }
 }
 
+TEST(BlockedDistanceTest, EveryLengthBelowOneBlockMatchesScalar) {
+  // Deterministic sweep of the short-subsequence regime the random-length
+  // tests only sample: every length from 2 up to one full block runs
+  // entirely in the kernel's ragged-tail path (full variant) respectively
+  // before the first block-granular limit check (abandoning variant), so
+  // each length is its own code shape worth pinning.
+  const std::vector<double> series = MakeRandomWalk(400, 1.0, 41);
+  SubsequenceDistance dist(series);
+  ScalarReferenceDistance ref(series);
+  for (size_t len = 2; len <= SubsequenceDistance::kBlock; ++len) {
+    for (size_t p : {size_t{0}, size_t{33}, series.size() - len}) {
+      const size_t q = (p + 2 * len + 19) % (series.size() - len + 1);
+      const double blocked = dist.Distance(p, q, len);
+      const double scalar = ref.Distance(p, q, len);
+      EXPECT_NEAR(blocked, scalar, 1e-12) << "len=" << len << " p=" << p;
+
+      // Abandoning path, limit above the distance: same value bit-for-bit.
+      EXPECT_EQ(dist.Distance(p, q, len, blocked + 1.0), blocked)
+          << "len=" << len << " p=" << p;
+      // Limit below: both kernels must abandon (sum is monotone even when
+      // the whole subsequence is shorter than one block).
+      if (blocked > 0.0) {
+        EXPECT_EQ(dist.Distance(p, q, len, blocked * 0.5),
+                  SubsequenceDistance::kInfinity)
+            << "len=" << len << " p=" << p;
+        EXPECT_EQ(ref.Distance(p, q, len, blocked * 0.5),
+                  SubsequenceDistance::kInfinity)
+            << "len=" << len << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(BlockedDistanceTest, ExactlyOneBlockExercisesNoRaggedTail) {
+  // length == kBlock: one full block, zero tail elements — the boundary
+  // between the blocked loop and the tail handling on both kernel paths.
+  const std::vector<double> series = MakeSine(500, 31.0, 0.12, 17);
+  SubsequenceDistance dist(series);
+  ScalarReferenceDistance ref(series);
+  const size_t len = SubsequenceDistance::kBlock;
+  for (size_t p : {size_t{0}, size_t{7}, size_t{250}, series.size() - len}) {
+    const size_t q = (p + 111) % (series.size() - len + 1);
+    const double full = dist.Distance(p, q, len);
+    EXPECT_NEAR(full, ref.Distance(p, q, len), 1e-12) << "p=" << p;
+    EXPECT_EQ(dist.Distance(p, q, len, full + 1e-6), full) << "p=" << p;
+    if (full > 0.0) {
+      EXPECT_EQ(dist.Distance(p, q, len, full * 0.9),
+                SubsequenceDistance::kInfinity)
+          << "p=" << p;
+    }
+  }
+}
+
+TEST(BlockedDistanceTest, ZNormEuclideanAgreesWithOracleOnShortLengths) {
+  // The span-based convenience wrapper and the prefix-sum oracle implement
+  // the same z-normalize + accumulate composition; on short subsequences
+  // (below and at one block) they must agree to rounding, including on a
+  // flat window where the epsilon guard switches to mean-centering.
+  std::vector<double> series = MakeRandomWalk(300, 1.0, 53);
+  for (size_t i = 100; i < 100 + SubsequenceDistance::kBlock; ++i) {
+    series[i] = 4.2;  // flat stretch: sd < epsilon
+  }
+  SubsequenceDistance dist(series);
+  for (size_t len :
+       {size_t{2}, size_t{5}, size_t{11}, SubsequenceDistance::kBlock}) {
+    for (size_t p : {size_t{0}, size_t{100}, size_t{200}}) {
+      const size_t q = p + 50;
+      const std::span<const double> a(series.data() + p, len);
+      const std::span<const double> b(series.data() + q, len);
+      EXPECT_NEAR(dist.Distance(p, q, len), ZNormEuclideanDistance(a, b),
+                  1e-9)
+          << "len=" << len << " p=" << p;
+    }
+  }
+}
+
 TEST(BlockedDistanceTest, CountsExactlyOneCallPerInvocationUnderConcurrency) {
   // Both kernel paths (fast and abandoning) add exactly one relaxed
   // increment per invocation; a shared oracle must not lose any.

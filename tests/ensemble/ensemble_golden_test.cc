@@ -1,0 +1,143 @@
+// Golden regression suite: the top anomaly intervals for the two built-in
+// demo datasets, under a fixed single configuration and under an ensemble
+// grid, pinned to the values the engine produces today.
+//
+// Comparator and tolerance: intervals are compared per rank by Jaccard
+// overlap >= 0.7 (and the interval count exactly). The ensemble score is
+// bit-for-bit deterministic — thread count, config order, and substrate
+// sharing provably cannot move these intervals — so the slack is NOT for
+// run-to-run noise. It absorbs small boundary drift from *intentional*
+// numeric changes (e.g. a different normalization epsilon or a retuned
+// dataset generator) while still failing loudly when an anomaly moves,
+// changes rank, or disappears. If a deliberate algorithm change shifts an
+// interval beyond the slack, rerun the binaries and update the constants
+// here — the git diff of the goldens then documents the behavior change.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rule_density_detector.h"
+#include "datasets/ecg.h"
+#include "datasets/power_demand.h"
+#include "ensemble/ensemble.h"
+
+namespace gva {
+namespace {
+
+constexpr double kMinJaccard = 0.7;
+
+void ExpectGoldenIntervals(const std::vector<Interval>& actual,
+                           const std::vector<Interval>& golden) {
+  ASSERT_EQ(actual.size(), golden.size());
+  for (size_t rank = 0; rank < golden.size(); ++rank) {
+    EXPECT_GE(actual[rank].Jaccard(golden[rank]), kMinJaccard)
+        << "rank " << rank << ": got " << actual[rank] << ", golden "
+        << golden[rank];
+  }
+}
+
+bool OverlapsAnyLabel(const Interval& span, const LabeledSeries& data) {
+  for (const Interval& truth : data.anomalies) {
+    if (span.Overlaps(truth)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// demo:ecg — one anomalous beat planted at beat 40 (samples ~4800-4920).
+
+TEST(GoldenEcg, FixedConfigDensityDetector) {
+  const LabeledSeries data = MakeEcg();
+  SaxOptions sax;
+  sax.window = 120;
+  sax.paa_size = 4;
+  sax.alphabet_size = 4;
+  DensityAnomalyOptions options;
+  options.threshold_fraction = 0.05;
+  options.max_anomalies = 3;
+  const auto detection = DetectDensityAnomalies(data.series, sax, options);
+  ASSERT_TRUE(detection.ok()) << detection.status();
+
+  std::vector<Interval> actual;
+  for (const DensityAnomaly& a : detection->anomalies) {
+    actual.push_back(a.span);
+  }
+  ExpectGoldenIntervals(actual, {Interval{4848, 4890}});
+  EXPECT_TRUE(OverlapsAnyLabel(actual[0], data));
+}
+
+TEST(GoldenEcg, EnsembleGrid) {
+  const LabeledSeries data = MakeEcg();
+  EnsembleOptions options;
+  options.configs = MakeEnsembleGrid({80, 160}, {4, 8}, {3, 6});
+  options.anomaly.threshold_fraction = 0.05;
+  options.anomaly.max_anomalies = 3;
+  const auto detection = RunEnsemble(data.series, options);
+  ASSERT_TRUE(detection.ok()) << detection.status();
+  EXPECT_EQ(detection->configs_used, 8u);
+
+  std::vector<Interval> actual;
+  for (const EnsembleAnomaly& a : detection->anomalies) {
+    actual.push_back(a.span);
+  }
+  ExpectGoldenIntervals(actual,
+                        {Interval{4830, 4903}, Interval{4827, 4829}});
+  // The headline regression: the ensemble's top interval must keep hitting
+  // the planted anomalous beat.
+  EXPECT_TRUE(OverlapsAnyLabel(actual[0], data));
+}
+
+// ---------------------------------------------------------------------------
+// demo:power — weekday-profile year with holidays at days 121, 126, 129
+// (96 samples per day; day 129 spans [12384, 12480)).
+
+TEST(GoldenPower, FixedConfigDensityDetector) {
+  const LabeledSeries data = MakePowerDemand();
+  SaxOptions sax;
+  sax.window = 96;
+  sax.paa_size = 4;
+  sax.alphabet_size = 4;
+  DensityAnomalyOptions options;
+  options.threshold_fraction = 0.05;
+  options.max_anomalies = 3;
+  const auto detection = DetectDensityAnomalies(data.series, sax, options);
+  ASSERT_TRUE(detection.ok()) << detection.status();
+
+  std::vector<Interval> actual;
+  for (const DensityAnomaly& a : detection->anomalies) {
+    actual.push_back(a.span);
+  }
+  // The day-length single config ranks two low-density troughs elsewhere in
+  // the year — a known weakness of one fixed parameter set on this signal
+  // (the ensemble below does better); pinned as-is for regression.
+  ExpectGoldenIntervals(actual,
+                        {Interval{26704, 26714}, Interval{34293, 34295}});
+}
+
+TEST(GoldenPower, EnsembleGrid) {
+  const LabeledSeries data = MakePowerDemand();
+  EnsembleOptions options;
+  options.configs = MakeEnsembleGrid({96, 192, 288}, {4, 6}, {3, 4, 5});
+  options.anomaly.threshold_fraction = 0.05;
+  options.anomaly.max_anomalies = 3;
+  const auto detection = RunEnsemble(data.series, options);
+  ASSERT_TRUE(detection.ok()) << detection.status();
+  EXPECT_EQ(detection->configs_used, 18u);
+
+  std::vector<Interval> actual;
+  for (const EnsembleAnomaly& a : detection->anomalies) {
+    actual.push_back(a.span);
+  }
+  ExpectGoldenIntervals(actual, {Interval{12507, 12531},
+                                 Interval{12431, 12449},
+                                 Interval{12536, 12541}});
+  // All three intervals sit in the holiday-129 neighborhood; rank 1 lands
+  // inside the labeled day itself.
+  EXPECT_TRUE(OverlapsAnyLabel(actual[1], data));
+}
+
+}  // namespace
+}  // namespace gva
