@@ -186,8 +186,11 @@ int Run() {
   auto spans_to_string = [](const std::vector<Interval>& spans) {
     std::string out;
     for (size_t i = 0; i < spans.size() && i < 2; ++i) {
-      out += "[" + std::to_string(spans[i].start) + "," +
-             std::to_string(spans[i].end) + ") ";
+      out += '[';
+      out += std::to_string(spans[i].start);
+      out += ',';
+      out += std::to_string(spans[i].end);
+      out += ") ";
     }
     return out;
   };

@@ -318,7 +318,8 @@ KernelRow BenchObsOverhead(std::span<const double> series, size_t length,
   if (sink == 1e300) {  // never true; defeats dead-code elimination
     std::abort();
   }
-  bench::Check(on.value() == static_cast<uint64_t>(calls) * reps,
+  bench::Check(on.value() ==
+                   static_cast<uint64_t>(calls) * static_cast<uint64_t>(reps),
                "obs overhead: enabled counter saw every call");
   bench::Check(off.value() == 0, "obs overhead: disabled counter stayed 0");
   return row;
@@ -347,11 +348,21 @@ int Run(bool smoke, const std::string& out_path) {
     // ~ms-scale loop plus a small absolute epsilon keeps the check robust
     // to scheduler noise when ctest runs the suite in parallel.
     const KernelRow obs_row = BenchObsOverhead(sine, 120, 20000, 9);
+#ifdef GVA_SANITIZED
+    // Sanitizer instrumentation slows the obs-enabled side far more than
+    // the disabled one (extra checks around every counter touch), so the
+    // ratio no longer measures production overhead. The counter-correctness
+    // checks inside BenchObsOverhead still ran; only the timing gate is
+    // waived.
+    bench::Check(true,
+                 "obs overhead ratio waived under sanitizer instrumentation");
+#else
     bench::Check(
         obs_row.kernel_s <= obs_row.baseline_s * 1.05 + 5e-4,
         StrFormat("obs-enabled distance loop within 5%% of disabled "
                   "(enabled %.4fms vs disabled %.4fms)",
                   obs_row.kernel_s * 1e3, obs_row.baseline_s * 1e3));
+#endif
     rows.push_back(obs_row);
   } else {
     // The acceptance configuration: 100k points, w=180, paa=6, a=4.

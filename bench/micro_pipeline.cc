@@ -20,6 +20,11 @@
 namespace gva {
 namespace {
 
+// google-benchmark ranges are int64_t; the library API is size_t-typed.
+size_t N(const benchmark::State& state) {
+  return static_cast<size_t>(state.range(0));
+}
+
 SaxOptions DefaultSax() {
   SaxOptions sax;
   sax.window = 100;
@@ -29,7 +34,7 @@ SaxOptions DefaultSax() {
 }
 
 void BM_ZNormalize(benchmark::State& state) {
-  std::vector<double> window = MakeSine(state.range(0), 25.0, 0.1, 1);
+  std::vector<double> window = MakeSine(N(state), 25.0, 0.1, 1);
   std::vector<double> out;
   for (auto _ : state) {
     ZNormalize(window, out);
@@ -40,7 +45,7 @@ void BM_ZNormalize(benchmark::State& state) {
 BENCHMARK(BM_ZNormalize)->Arg(128)->Arg(1024)->Arg(8192);
 
 void BM_Paa(benchmark::State& state) {
-  std::vector<double> window = MakeSine(state.range(0), 25.0, 0.1, 2);
+  std::vector<double> window = MakeSine(N(state), 25.0, 0.1, 2);
   std::vector<double> out;
   for (auto _ : state) {
     Paa(window, 8, out);
@@ -51,7 +56,7 @@ void BM_Paa(benchmark::State& state) {
 BENCHMARK(BM_Paa)->Arg(128)->Arg(1024)->Arg(8192);
 
 void BM_SaxDiscretize(benchmark::State& state) {
-  std::vector<double> series = MakeSine(state.range(0), 50.0, 0.05, 3);
+  std::vector<double> series = MakeSine(N(state), 50.0, 0.05, 3);
   const SaxOptions sax = DefaultSax();
   for (auto _ : state) {
     auto records = Discretize(series, sax);
@@ -70,14 +75,14 @@ void BM_Sequitur(benchmark::State& state) {
   Rng rng(4);
   std::vector<int32_t> tokens;
   std::vector<int32_t> motif{1, 5, 2, 9, 2, 7};
-  while (tokens.size() < static_cast<size_t>(state.range(0))) {
+  while (tokens.size() < N(state)) {
     if (rng.UniformDouble() < 0.7) {
       tokens.insert(tokens.end(), motif.begin(), motif.end());
     } else {
       tokens.push_back(static_cast<int32_t>(rng.UniformInt(64)));
     }
   }
-  tokens.resize(state.range(0));
+  tokens.resize(N(state));
   for (auto _ : state) {
     auto grammar = InferGrammar(tokens);
     benchmark::DoNotOptimize(grammar);
@@ -91,8 +96,8 @@ BENCHMARK(BM_Sequitur)
     ->Complexity(benchmark::oN);
 
 void BM_DensityCurve(benchmark::State& state) {
-  LabeledSeries data = MakeSineWithAnomaly(state.range(0), 50.0, 0.05,
-                                           state.range(0) / 2, 60, 5);
+  LabeledSeries data = MakeSineWithAnomaly(N(state), 50.0, 0.05,
+                                           N(state) / 2, 60, 5);
   auto decomposition = DecomposeSeries(data.series, DefaultSax()).value();
   for (auto _ : state) {
     auto density =
@@ -108,8 +113,8 @@ BENCHMARK(BM_DensityCurve)
     ->Complexity(benchmark::oN);
 
 void BM_FullDensityDetection(benchmark::State& state) {
-  LabeledSeries data = MakeSineWithAnomaly(state.range(0), 50.0, 0.05,
-                                           state.range(0) / 2, 60, 6);
+  LabeledSeries data = MakeSineWithAnomaly(N(state), 50.0, 0.05,
+                                           N(state) / 2, 60, 6);
   const SaxOptions sax = DefaultSax();
   for (auto _ : state) {
     auto detection = DetectDensityAnomalies(data.series, sax, {});
@@ -127,13 +132,13 @@ void BM_DistanceKernel(benchmark::State& state) {
   std::vector<double> series = MakeSine(1 << 16, 100.0, 0.1, 7);
   SubsequenceDistance dist(series);
   Rng rng(8);
-  const size_t len = state.range(0);
+  const size_t len = N(state);
   for (auto _ : state) {
     const size_t p = rng.UniformInt(series.size() - len);
     const size_t q = rng.UniformInt(series.size() - len);
     benchmark::DoNotOptimize(dist.Distance(p, q, len));
   }
-  state.SetItemsProcessed(state.iterations() * len);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(len));
 }
 BENCHMARK(BM_DistanceKernel)->Arg(64)->Arg(256)->Arg(1024);
 
@@ -141,13 +146,13 @@ void BM_DistanceKernelEarlyAbandon(benchmark::State& state) {
   std::vector<double> series = MakeSine(1 << 16, 100.0, 0.1, 7);
   SubsequenceDistance dist(series);
   Rng rng(9);
-  const size_t len = state.range(0);
+  const size_t len = N(state);
   for (auto _ : state) {
     const size_t p = rng.UniformInt(series.size() - len);
     const size_t q = rng.UniformInt(series.size() - len);
     benchmark::DoNotOptimize(dist.Distance(p, q, len, 0.5));
   }
-  state.SetItemsProcessed(state.iterations() * len);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(len));
 }
 BENCHMARK(BM_DistanceKernelEarlyAbandon)->Arg(64)->Arg(256)->Arg(1024);
 

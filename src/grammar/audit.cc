@@ -1,0 +1,270 @@
+#include "grammar/audit.h"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gva {
+namespace {
+
+std::string RulePos(size_t rule, size_t pos) {
+  // Appended piecewise: gcc 12 mis-fires -Wrestrict on chained string
+  // operator+ at -O2 (PR105651).
+  std::string out = "R";
+  out += std::to_string(rule);
+  out += '[';
+  out += std::to_string(pos);
+  out += ']';
+  return out;
+}
+
+/// Stable identity of a symbol for digram comparison: terminals and rule
+/// references live in disjoint key spaces.
+uint64_t SymbolId(const GrammarSymbol& s) {
+  return s.is_terminal ? (static_cast<uint64_t>(s.id) << 1) | 1u
+                       : static_cast<uint64_t>(s.id) << 1;
+}
+
+Status AuditStructure(const Grammar& grammar) {
+  const auto& rules = grammar.rules();
+  if (rules.empty()) {
+    return Status::FailedPrecondition("grammar audit: no rules (R0 missing)");
+  }
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].id != static_cast<int32_t>(i)) {
+      return Status::FailedPrecondition(
+          "grammar audit: rule at index " + std::to_string(i) +
+          " has id " + std::to_string(rules[i].id) + " (ids must be dense)");
+    }
+    for (size_t p = 0; p < rules[i].rhs.size(); ++p) {
+      const GrammarSymbol& sym = rules[i].rhs[p];
+      if (sym.is_terminal) {
+        if (sym.id < 0) {
+          return Status::FailedPrecondition(
+              "grammar audit: negative terminal at " + RulePos(i, p));
+        }
+        continue;
+      }
+      if (sym.id <= 0 || static_cast<size_t>(sym.id) >= rules.size()) {
+        std::string msg = "grammar audit: reference to R";
+        msg += std::to_string(sym.id);
+        msg += " at ";
+        msg += RulePos(i, p);
+        msg += sym.id == 0 ? " (the start rule is never referenced)"
+                           : " (out of range)";
+        return Status::FailedPrecondition(std::move(msg));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status AuditDigramUniqueness(const Grammar& grammar) {
+  // Sequitur's first invariant: a digram (pair of adjacent symbols) occurs
+  // at most once across all right-hand sides — except for the overlapping
+  // repeat inside a run "x x x", which the algorithm deliberately skips
+  // (folding it would consume the shared middle symbol twice).
+  struct Occurrence {
+    size_t rule;
+    size_t pos;
+  };
+  std::map<std::pair<uint64_t, uint64_t>, std::vector<Occurrence>> digrams;
+  const auto& rules = grammar.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const auto& rhs = rules[i].rhs;
+    for (size_t p = 0; p + 1 < rhs.size(); ++p) {
+      digrams[{SymbolId(rhs[p]), SymbolId(rhs[p + 1])}].push_back({i, p});
+    }
+  }
+  for (const auto& [key, occurrences] : digrams) {
+    for (size_t a = 0; a < occurrences.size(); ++a) {
+      for (size_t b = a + 1; b < occurrences.size(); ++b) {
+        const bool overlapping =
+            occurrences[a].rule == occurrences[b].rule &&
+            occurrences[b].pos - occurrences[a].pos == 1;
+        if (!overlapping) {
+          return Status::FailedPrecondition(
+              "grammar audit: digram uniqueness violated — digram at " +
+              RulePos(occurrences[a].rule, occurrences[a].pos) +
+              " repeats at " +
+              RulePos(occurrences[b].rule, occurrences[b].pos));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status AuditRuleUtility(const Grammar& grammar) {
+  // Sequitur's second invariant: every rule except R0 is referenced at
+  // least twice (a once-used rule would have been inlined), and the stored
+  // use_count is the true reference count.
+  const auto& rules = grammar.rules();
+  std::vector<size_t> references(rules.size(), 0);
+  for (const GrammarRule& rule : rules) {
+    for (const GrammarSymbol& sym : rule.rhs) {
+      if (!sym.is_terminal) {
+        ++references[static_cast<size_t>(sym.id)];
+      }
+    }
+  }
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].use_count != references[i]) {
+      return Status::FailedPrecondition(
+          "grammar audit: R" + std::to_string(i) + " stores use_count " +
+          std::to_string(rules[i].use_count) + " but is referenced " +
+          std::to_string(references[i]) + " time(s)");
+    }
+    if (i == 0 && references[i] != 0) {
+      return Status::FailedPrecondition(
+          "grammar audit: R0 is referenced " + std::to_string(references[i]) +
+          " time(s); the start rule must never be referenced");
+    }
+    if (i > 0 && references[i] < 2) {
+      return Status::FailedPrecondition(
+          "grammar audit: rule utility violated — R" + std::to_string(i) +
+          " is referenced " + std::to_string(references[i]) +
+          " time(s) (must be >= 2, or inlined away)");
+    }
+  }
+  return Status::Ok();
+}
+
+Status AuditRoundTrip(const Grammar& grammar,
+                      std::span<const int32_t> tokens) {
+  if (grammar.num_tokens() != tokens.size()) {
+    return Status::FailedPrecondition(
+        "grammar audit: num_tokens() is " +
+        std::to_string(grammar.num_tokens()) + " but the input has " +
+        std::to_string(tokens.size()) + " token(s)");
+  }
+  const std::vector<int32_t> expansion = grammar.ExpandToTerminals(0);
+  if (expansion.size() != tokens.size()) {
+    return Status::FailedPrecondition(
+        "grammar audit: R0 expands to " + std::to_string(expansion.size()) +
+        " token(s), input has " + std::to_string(tokens.size()));
+  }
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    if (expansion[t] != tokens[t]) {
+      return Status::FailedPrecondition(
+          "grammar audit: round-trip mismatch at token " + std::to_string(t) +
+          ": expansion has " + std::to_string(expansion[t]) + ", input has " +
+          std::to_string(tokens[t]));
+    }
+  }
+  return Status::Ok();
+}
+
+Status AuditCoveragePartition(const Grammar& grammar,
+                              std::span<const int32_t> tokens) {
+  const auto& rules = grammar.rules();
+  const size_t n = grammar.num_tokens();
+
+  // Per rule: expansion length bookkeeping, occurrence ordering/bounds, and
+  // every occurrence matching the input at its claimed position.
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const GrammarRule& rule = rules[i];
+    const std::vector<int32_t> expansion = grammar.ExpandToTerminals(i);
+    if (expansion.size() != rule.expansion_tokens) {
+      return Status::FailedPrecondition(
+          "grammar audit: R" + std::to_string(i) + " claims " +
+          std::to_string(rule.expansion_tokens) +
+          " expansion token(s) but expands to " +
+          std::to_string(expansion.size()));
+    }
+    if (rule.occurrences.empty()) {
+      return Status::FailedPrecondition(
+          "grammar audit: R" + std::to_string(i) + " has no occurrences");
+    }
+    for (size_t o = 0; o < rule.occurrences.size(); ++o) {
+      const size_t start = rule.occurrences[o];
+      if (o > 0 && start <= rule.occurrences[o - 1]) {
+        return Status::FailedPrecondition(
+            "grammar audit: occurrences of R" + std::to_string(i) +
+            " are not strictly ascending");
+      }
+      if (start + rule.expansion_tokens > n) {
+        return Status::FailedPrecondition(
+            "grammar audit: occurrence of R" + std::to_string(i) + " at " +
+            std::to_string(start) + " overruns the input (" +
+            std::to_string(n) + " tokens)");
+      }
+      for (size_t t = 0; t < expansion.size(); ++t) {
+        if (tokens[start + t] != expansion[t]) {
+          return Status::FailedPrecondition(
+              "grammar audit: occurrence of R" + std::to_string(i) + " at " +
+              std::to_string(start) + " does not match the input at token " +
+              std::to_string(start + t));
+        }
+      }
+    }
+  }
+
+  // Partition check: the difference array built from the occurrence lists
+  // (what RuleDensityCurve consumes, R0 excluded) must equal the derivation
+  // tree's nesting depth at every token. Compute the depth directly with a
+  // walk of the derivation; any drift between the two is double-counted or
+  // lost coverage.
+  std::vector<size_t> from_occurrences(n + 1, 0);
+  std::vector<long long> diff(n + 1, 0);
+  for (size_t i = 1; i < rules.size(); ++i) {
+    for (size_t start : rules[i].occurrences) {
+      diff[start] += 1;
+      diff[start + rules[i].expansion_tokens] -= 1;
+    }
+  }
+  long long running = 0;
+  for (size_t t = 0; t < n; ++t) {
+    running += diff[t];
+    from_occurrences[t] = static_cast<size_t>(running);
+  }
+
+  struct Frame {
+    size_t rule;
+    size_t pos;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  std::vector<size_t> depth_at(n, 0);
+  size_t token_pos = 0;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const GrammarRule& rule = rules[top.rule];
+    if (top.pos == rule.rhs.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const GrammarSymbol& sym = rule.rhs[top.pos];
+    ++top.pos;
+    if (sym.is_terminal) {
+      depth_at[token_pos] = stack.size() - 1;  // frames above R0
+      ++token_pos;
+    } else {
+      stack.push_back({static_cast<size_t>(sym.id), 0});
+    }
+  }
+  for (size_t t = 0; t < n; ++t) {
+    if (from_occurrences[t] != depth_at[t]) {
+      return Status::FailedPrecondition(
+          "grammar audit: coverage partition violated at token " +
+          std::to_string(t) + " — occurrence lists cover it " +
+          std::to_string(from_occurrences[t]) +
+          " time(s) but the derivation nests it " +
+          std::to_string(depth_at[t]) + " deep");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AuditGrammar(const Grammar& grammar, std::span<const int32_t> tokens) {
+  GVA_RETURN_IF_ERROR(AuditStructure(grammar));
+  GVA_RETURN_IF_ERROR(AuditDigramUniqueness(grammar));
+  GVA_RETURN_IF_ERROR(AuditRuleUtility(grammar));
+  GVA_RETURN_IF_ERROR(AuditRoundTrip(grammar, tokens));
+  return AuditCoveragePartition(grammar, tokens);
+}
+
+}  // namespace gva

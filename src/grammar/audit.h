@@ -1,0 +1,44 @@
+#ifndef GVA_GRAMMAR_AUDIT_H_
+#define GVA_GRAMMAR_AUDIT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "grammar/grammar.h"
+#include "util/status.h"
+
+namespace gva {
+
+/// The grammar invariant auditor: checks that an extracted grammar holds
+/// every property the anomaly detectors rely on. Sequitur's two induction
+/// invariants (Nevill-Manning & Witten 1997) plus the bookkeeping the
+/// rule-density pipeline consumes:
+///
+///  1. structure — rule ids are dense and match their index, every
+///     non-terminal reference is in bounds, R0 is never referenced;
+///  2. digram uniqueness — no pair of adjacent symbols occurs at two
+///     non-overlapping positions across all right-hand sides (overlapping
+///     repeats inside a run like "x x x" are the algorithm's documented
+///     exception and are permitted);
+///  3. rule utility — every rule other than R0 is referenced at least
+///     twice, and the stored use_count equals the actual reference count;
+///  4. round-trip — R0's expansion reproduces `tokens` exactly;
+///  5. coverage partition — per rule, expansion_tokens matches the real
+///     expansion length, occurrences are ascending / in-bounds / match the
+///     input at their claimed positions, and the rule-occurrence difference
+///     array equals the derivation-tree nesting depth at every token — the
+///     property that makes RuleDensityCurve a partition of the derivation
+///     rather than an approximation.
+///
+/// Returns OK when every invariant holds, otherwise FailedPrecondition
+/// with a message naming the first violated invariant and its location.
+///
+/// Cost is O(total expansion size) — linear in the input for Sequitur-sized
+/// grammars but far above the induction's constant factor, hence audits are
+/// compiled into the extraction path only under -DGVA_AUDIT=ON (see the
+/// root CMakeLists); tests may call this directly in any build.
+Status AuditGrammar(const Grammar& grammar, std::span<const int32_t> tokens);
+
+}  // namespace gva
+
+#endif  // GVA_GRAMMAR_AUDIT_H_

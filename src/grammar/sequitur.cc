@@ -6,6 +6,10 @@
 #include "obs/trace.h"
 #include "util/check.h"
 
+#ifdef GVA_AUDIT
+#include "grammar/audit.h"
+#endif
+
 namespace gva {
 namespace {
 
@@ -412,6 +416,11 @@ Grammar Inducer::Extract(size_t num_tokens) {
 
 struct IncrementalSequitur::Impl {
   Inducer inducer;
+#ifdef GVA_AUDIT
+  // Audit builds keep a copy of the appended terminals so every extracted
+  // snapshot can be round-trip checked against the exact input.
+  std::vector<int32_t> appended;
+#endif
 };
 
 IncrementalSequitur::IncrementalSequitur() : impl_(new Impl()) {}
@@ -426,12 +435,23 @@ Status IncrementalSequitur::Append(int32_t token) {
     return Status::InvalidArgument("token ids must be non-negative");
   }
   impl_->inducer.AppendTerminal(token);
+#ifdef GVA_AUDIT
+  impl_->appended.push_back(token);
+#endif
   ++num_tokens_;
   return Status::Ok();
 }
 
 Grammar IncrementalSequitur::ExtractGrammar() const {
-  return impl_->inducer.Extract(num_tokens_);
+  Grammar grammar = impl_->inducer.Extract(num_tokens_);
+#ifdef GVA_AUDIT
+  // Post-induction audit (GVA_AUDIT trees only): every snapshot handed to a
+  // caller satisfies the Sequitur invariants and the density-curve
+  // bookkeeping. GVA_DCHECK is always live under GVA_AUDIT (util/check.h).
+  const Status audit = AuditGrammar(grammar, impl_->appended);
+  GVA_DCHECK(audit.ok()) << audit.message();
+#endif
+  return grammar;
 }
 
 StatusOr<Grammar> InferGrammar(std::span<const int32_t> tokens) {

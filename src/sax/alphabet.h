@@ -35,7 +35,7 @@ class NormalAlphabet {
 
   /// Letter for a given index.
   static char IndexFor(char base, size_t index) {
-    return static_cast<char>(base + index);
+    return static_cast<char>(static_cast<size_t>(base) + index);
   }
 
   /// Index of a letter produced by this alphabet.

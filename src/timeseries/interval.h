@@ -34,7 +34,8 @@ struct Interval {
   double Jaccard(const Interval& other) const {
     size_t inter = OverlapLength(other);
     size_t uni = length() + other.length() - inter;
-    return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+    return uni == 0 ? 0.0
+                    : static_cast<double>(inter) / static_cast<double>(uni);
   }
 
   friend bool operator==(const Interval& a, const Interval& b) {

@@ -61,8 +61,10 @@ class CheckFailureStream {
 #define GVA_CHECK_GE(a, b) GVA_CHECK((a) >= (b))
 
 /// Debug-only variant; compiled out (but still type-checked) in NDEBUG
-/// builds.
-#ifdef NDEBUG
+/// builds. An audit tree (-DGVA_AUDIT=ON) keeps it live even under NDEBUG,
+/// so `ctest -L audit` enforces every debug invariant at Release
+/// optimization levels.
+#if defined(NDEBUG) && !defined(GVA_AUDIT)
 #define GVA_DCHECK(condition) \
   while (false) GVA_CHECK(condition)
 #else

@@ -130,7 +130,7 @@ TEST(CompressionScoreTest, RejectsZeroSegment) {
   EXPECT_FALSE(DetectCompressionAnomalies(series, opts).ok());
 }
 
-// --- weighted density curves ---------------------------------------------------
+// --- weighted density curves ------------------------------------------------
 
 TEST(WeightedDensityTest, OccurrenceWeightingMatchesPlainCurve) {
   LabeledSeries data = MakeSineWithAnomaly(1200, 60.0, 0.03, 600, 80, 11);

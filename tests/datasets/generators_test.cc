@@ -56,7 +56,7 @@ TEST(EcgTest, AnomalousBeatDiffersFromNormal) {
   for (size_t i = 0; i < opts.beat_length; ++i) {
     diff += std::abs(beat1[i] - beat2[i]);
   }
-  EXPECT_GT(diff / opts.beat_length, 0.05);
+  EXPECT_GT(diff / static_cast<double>(opts.beat_length), 0.05);
   // Two normal beats are identical without jitter/noise.
   auto beat3 = data.series.Subsequence(3 * opts.beat_length,
                                        opts.beat_length);

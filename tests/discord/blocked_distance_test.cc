@@ -94,8 +94,9 @@ TEST(BlockedDistanceTest, ExactBlockMultipleLengths) {
   const std::vector<double> series = MakeSine(1000, 43.0, 0.15, 3);
   SubsequenceDistance dist(series);
   ScalarReferenceDistance ref(series);
-  for (size_t len : {SubsequenceDistance::kBlock, 2 * SubsequenceDistance::kBlock,
-                     8 * SubsequenceDistance::kBlock}) {
+  for (size_t len :
+       {SubsequenceDistance::kBlock, 2 * SubsequenceDistance::kBlock,
+        8 * SubsequenceDistance::kBlock}) {
     for (size_t p : {0u, 17u, 400u}) {
       const size_t q = p + 300;
       EXPECT_NEAR(dist.Distance(p, q, len), ref.Distance(p, q, len), 1e-12)
@@ -258,10 +259,12 @@ TEST(BlockedDistanceTest, CountsExactlyOneCallPerInvocationUnderConcurrency) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&dist, t] {
       for (int i = 0; i < kCallsPerThread; ++i) {
+        const auto p = static_cast<size_t>((t * 11 + i) % 500);
+        const auto q = static_cast<size_t>((i * 17) % 500);
         if (i % 2 == 0) {
-          (void)dist.Distance((t * 11 + i) % 500, (i * 17) % 500, 60);
+          (void)dist.Distance(p, q, 60);
         } else {
-          (void)dist.Distance((t * 11 + i) % 500, (i * 17) % 500, 60, 0.25);
+          (void)dist.Distance(p, q, 60, 0.25);
         }
       }
     });

@@ -36,8 +36,8 @@ class DifferentialTest : public ::testing::TestWithParam<size_t> {
 
 INSTANTIATE_TEST_SUITE_P(Threads, DifferentialTest,
                          ::testing::Values(1u, 4u),
-                         [](const auto& info) {
-                           return "threads_" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "threads_" + std::to_string(param_info.param);
                          });
 
 // ---------------------------------------------------------------------------

@@ -196,7 +196,8 @@ TEST(SubsequenceDistanceTest, CallCountIsExactUnderConcurrentUse) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&dist, t] {
       for (int i = 0; i < kCallsPerThread; ++i) {
-        (void)dist.Distance((t * 7 + i) % 400, (i * 13) % 400, 50, 1.0);
+        (void)dist.Distance(static_cast<size_t>((t * 7 + i) % 400),
+                            static_cast<size_t>((i * 13) % 400), 50, 1.0);
       }
     });
   }

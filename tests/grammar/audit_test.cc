@@ -1,0 +1,215 @@
+#include "grammar/audit.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "grammar/sequitur.h"
+#include "util/rng.h"
+
+namespace gva {
+namespace {
+
+std::vector<int32_t> Tokens(std::initializer_list<int32_t> list) {
+  return std::vector<int32_t>(list);
+}
+
+Grammar Induce(const std::vector<int32_t>& tokens) {
+  auto g = InferGrammar(tokens);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return *g;
+}
+
+// --- clean grammars pass -----------------------------------------------------
+
+TEST(AuditGrammarTest, EmptyInputPasses) {
+  const auto tokens = Tokens({});
+  EXPECT_TRUE(AuditGrammar(Induce(tokens), tokens).ok());
+}
+
+TEST(AuditGrammarTest, NoRepetitionPasses) {
+  const auto tokens = Tokens({1, 2, 3, 4, 5});
+  EXPECT_TRUE(AuditGrammar(Induce(tokens), tokens).ok());
+}
+
+TEST(AuditGrammarTest, ClassicSequiturExamplePasses) {
+  // "abcabcabc" — nested rule structure.
+  const auto tokens = Tokens({0, 1, 2, 0, 1, 2, 0, 1, 2});
+  EXPECT_TRUE(AuditGrammar(Induce(tokens), tokens).ok());
+}
+
+TEST(AuditGrammarTest, OverlappingRunsPass) {
+  // Runs of identical symbols exercise the overlapping-digram exception.
+  for (size_t run = 2; run <= 9; ++run) {
+    std::vector<int32_t> tokens(run, 7);
+    const Status status = AuditGrammar(Induce(tokens), tokens);
+    EXPECT_TRUE(status.ok()) << "run of " << run << ": " << status;
+  }
+}
+
+TEST(AuditGrammarTest, RandomStringsPass) {
+  Rng rng(20250809);
+  for (int alphabet : {2, 4, 8}) {
+    for (size_t length : {1u, 13u, 200u, 1500u}) {
+      std::vector<int32_t> tokens;
+      tokens.reserve(length);
+      for (size_t i = 0; i < length; ++i) {
+        tokens.push_back(static_cast<int32_t>(
+            rng.UniformInt(static_cast<uint64_t>(alphabet))));
+      }
+      const Status status = AuditGrammar(Induce(tokens), tokens);
+      EXPECT_TRUE(status.ok())
+          << "alphabet=" << alphabet << " length=" << length << ": "
+          << status;
+    }
+  }
+}
+
+TEST(AuditGrammarTest, IncrementalSnapshotsPassMidStream) {
+  // The auditor must accept every snapshot, not just the final grammar —
+  // the streaming engine extracts mid-stream.
+  IncrementalSequitur sequitur;
+  std::vector<int32_t> appended;
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const auto token = static_cast<int32_t>(rng.UniformInt(5));
+    ASSERT_TRUE(sequitur.Append(token).ok());
+    appended.push_back(token);
+    if (i % 37 == 0) {
+      const Status status =
+          AuditGrammar(sequitur.ExtractGrammar(), appended);
+      EXPECT_TRUE(status.ok()) << "after " << i + 1 << " tokens: " << status;
+    }
+  }
+}
+
+TEST(AuditGrammarTest, WordGrammarPasses) {
+  const std::vector<std::string> words = {"aab", "abc", "aab", "abc", "aab",
+                                          "abc", "bbb", "aab", "abc"};
+  auto wg = InferGrammarFromWords(words);
+  ASSERT_TRUE(wg.ok());
+  EXPECT_TRUE(AuditGrammar(wg->grammar, wg->tokens).ok());
+}
+
+// --- corrupted grammars fail with the right diagnosis ------------------------
+
+// A hand-built valid grammar the corruption tests start from:
+//   R0 -> R1 R1 3        (tokens 0 1 0 1 3)
+//   R1 -> 0 1
+Grammar ValidFixture() {
+  GrammarRule r0;
+  r0.id = 0;
+  r0.rhs = {{false, 1}, {false, 1}, {true, 3}};
+  r0.use_count = 0;
+  r0.expansion_tokens = 5;
+  r0.occurrences = {0};
+  GrammarRule r1;
+  r1.id = 1;
+  r1.rhs = {{true, 0}, {true, 1}};
+  r1.use_count = 2;
+  r1.expansion_tokens = 2;
+  r1.occurrences = {0, 2};
+  return Grammar({r0, r1}, 5);
+}
+
+const std::vector<int32_t> kFixtureTokens = {0, 1, 0, 1, 3};
+
+TEST(AuditGrammarTest, ValidFixturePasses) {
+  EXPECT_TRUE(AuditGrammar(ValidFixture(), kFixtureTokens).ok());
+}
+
+void ExpectAuditFails(const Grammar& grammar, const std::string& fragment) {
+  const Status status = AuditGrammar(grammar, kFixtureTokens);
+  ASSERT_FALSE(status.ok()) << "corruption was not detected";
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find(fragment), std::string::npos)
+      << "diagnosis was: " << status.message();
+}
+
+TEST(AuditGrammarTest, DetectsNonDenseRuleIds) {
+  auto rules = ValidFixture().rules();
+  rules[1].id = 7;
+  ExpectAuditFails(Grammar(rules, 5), "ids must be dense");
+}
+
+TEST(AuditGrammarTest, DetectsOutOfRangeReference) {
+  auto rules = ValidFixture().rules();
+  rules[0].rhs[0].id = 9;
+  ExpectAuditFails(Grammar(rules, 5), "out of range");
+}
+
+TEST(AuditGrammarTest, DetectsReferenceToStartRule) {
+  auto rules = ValidFixture().rules();
+  rules[0].rhs[1] = {false, 0};
+  ExpectAuditFails(Grammar(rules, 5), "start rule");
+}
+
+TEST(AuditGrammarTest, DetectsDuplicateDigram) {
+  // R0 -> R1 R1 3 / R1 -> 0 1, with R0 grown to repeat the digram "0 1"
+  // explicitly: R0 -> R1 R1 3 0 1 ... the pair (0,1) now appears in both
+  // R0 and R1 without overlap.
+  auto rules = ValidFixture().rules();
+  rules[0].rhs.push_back({true, 0});
+  rules[0].rhs.push_back({true, 1});
+  rules[0].expansion_tokens = 7;
+  ExpectAuditFails(Grammar(rules, 5), "digram uniqueness");
+}
+
+TEST(AuditGrammarTest, DetectsOnceUsedRule) {
+  // Drop R0's second reference to R1: utility now 1.
+  auto rules = ValidFixture().rules();
+  rules[0].rhs[1] = {true, 5};
+  rules[0].expansion_tokens = 4;
+  rules[1].use_count = 1;
+  rules[1].occurrences = {0};
+  ExpectAuditFails(Grammar(rules, 5), "rule utility");
+}
+
+TEST(AuditGrammarTest, DetectsStaleUseCount) {
+  auto rules = ValidFixture().rules();
+  rules[1].use_count = 3;
+  ExpectAuditFails(Grammar(rules, 5), "use_count");
+}
+
+TEST(AuditGrammarTest, DetectsRoundTripMismatch) {
+  auto rules = ValidFixture().rules();
+  rules[1].rhs[1] = {true, 2};  // expansion now 0 2 0 2 3 != input
+  ExpectAuditFails(Grammar(rules, 5), "round-trip");
+}
+
+TEST(AuditGrammarTest, DetectsWrongExpansionLength) {
+  auto rules = ValidFixture().rules();
+  rules[1].expansion_tokens = 3;
+  ExpectAuditFails(Grammar(rules, 5), "expansion token");
+}
+
+TEST(AuditGrammarTest, DetectsUnsortedOccurrences) {
+  auto rules = ValidFixture().rules();
+  rules[1].occurrences = {2, 0};
+  ExpectAuditFails(Grammar(rules, 5), "ascending");
+}
+
+TEST(AuditGrammarTest, DetectsOccurrenceOverrun) {
+  auto rules = ValidFixture().rules();
+  rules[1].occurrences = {0, 4};  // 4 + 2 > 5
+  ExpectAuditFails(Grammar(rules, 5), "overruns");
+}
+
+TEST(AuditGrammarTest, DetectsOccurrenceInputMismatch) {
+  auto rules = ValidFixture().rules();
+  rules[1].occurrences = {0, 3};  // tokens[3..4] == 1 3, not 0 1
+  ExpectAuditFails(Grammar(rules, 5), "does not match the input");
+}
+
+TEST(AuditGrammarTest, DetectsCoveragePartitionDrift) {
+  // Keep per-occurrence slices valid but drop one occurrence entirely: the
+  // difference array then under-covers tokens 2..3 relative to the
+  // derivation depth.
+  auto rules = ValidFixture().rules();
+  rules[1].occurrences = {0};
+  ExpectAuditFails(Grammar(rules, 5), "coverage partition");
+}
+
+}  // namespace
+}  // namespace gva

@@ -258,7 +258,7 @@ TEST(SequiturTest, RandomNoiseBarelyCompresses) {
   EXPECT_LE(g->size(), 12u);
 }
 
-// --- regression corpus --------------------------------------------------------
+// --- regression corpus ------------------------------------------------------
 // Minimized inputs that broke earlier revisions of the digram-index
 // maintenance (found by fuzzing): runs of identical symbols whose indexed
 // digram was destroyed while an overlapping twin survived unindexed, and
@@ -311,7 +311,8 @@ TEST_P(SequiturPropertyTest, InvariantsHoldOnRandomStrings) {
   std::vector<int32_t> input;
   input.reserve(length);
   for (size_t i = 0; i < length; ++i) {
-    input.push_back(static_cast<int32_t>(rng.UniformInt(alphabet)));
+    input.push_back(static_cast<int32_t>(
+        rng.UniformInt(static_cast<uint64_t>(alphabet))));
   }
   auto g = InferGrammar(input);
   ASSERT_TRUE(g.ok());

@@ -1,6 +1,8 @@
 #include "grammar/serialization.h"
 
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -42,7 +44,11 @@ TEST(GrammarSerializationTest, RoundTripRandomGrammars) {
   for (int trial = 0; trial < 10; ++trial) {
     std::vector<std::string> words;
     for (int i = 0; i < 200; ++i) {
-      words.push_back("w" + std::to_string(rng.UniformInt(6)));
+      // Appended piecewise: gcc 12 mis-fires -Wrestrict on chained
+      // string operator+ at -O2 (PR105651).
+      std::string word = "w";
+      word += std::to_string(rng.UniformInt(6));
+      words.push_back(std::move(word));
     }
     auto wg = InferGrammarFromWords(words);
     ASSERT_TRUE(wg.ok());

@@ -37,7 +37,7 @@ TEST(RngTest, ReseedRestartsStream) {
   }
   a.Reseed(7);
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(a.NextUint64(), first[i]);
+    EXPECT_EQ(a.NextUint64(), first[static_cast<size_t>(i)]);
   }
 }
 

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Check-only formatting gate (never rewrites files).
+
+    python3 tools/lint/format_check.py [--root REPO_ROOT] [paths...]
+
+With clang-format on PATH, every file is checked against the repo's
+.clang-format via --dry-run; any would-be replacement is a finding. Without
+clang-format the script falls back to the style invariants the tree already
+holds and that matter for diffs staying reviewable:
+
+    * no tab characters (2-space indent everywhere)
+    * no trailing whitespace
+    * LF line endings (no CRLF)
+    * file ends with exactly one newline
+    * lines are at most 80 columns
+
+Exit 0 when clean, 1 with findings printed per line. Unlike the clang-tidy
+runner there is no skip code: the fallback always enforces something, so
+the `lint` ctest label keeps a formatting gate on machines without LLVM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+MAX_COLUMNS = 80
+
+
+def find_clang_format() -> str | None:
+    for candidate in ("clang-format", "clang-format-18", "clang-format-17",
+                      "clang-format-16", "clang-format-15", "clang-format-14"):
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    out = []
+    for p in paths:
+        absolute = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(absolute):
+            out.append(absolute)
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    out.append(os.path.join(dirpath, name))
+    return out
+
+
+def check_with_clang_format(binary: str, root: str,
+                            files: list[str]) -> list[str]:
+    findings = []
+    for path in files:
+        proc = subprocess.run(
+            [binary, "--style=file", "--dry-run", "-Werror", path],
+            capture_output=True, text=True, cwd=root)
+        if proc.returncode != 0:
+            rel = os.path.relpath(path, root)
+            first = (proc.stderr.strip().splitlines() or ["(no output)"])[0]
+            findings.append(f"{rel}: not clang-format clean: {first}")
+    return findings
+
+
+def check_builtin(root: str, files: list[str]) -> list[str]:
+    findings = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        with open(path, "rb") as f:
+            raw = f.read()
+        if b"\r" in raw:
+            findings.append(f"{rel}: CRLF line ending")
+        if raw and not raw.endswith(b"\n"):
+            findings.append(f"{rel}: missing final newline")
+        if raw.endswith(b"\n\n"):
+            findings.append(f"{rel}: trailing blank line(s) at EOF")
+        for i, line in enumerate(raw.decode("utf-8", "replace")
+                                 .splitlines(), 1):
+            if "\t" in line:
+                findings.append(f"{rel}:{i}: tab character (indent is "
+                                "2 spaces)")
+            if line != line.rstrip():
+                findings.append(f"{rel}:{i}: trailing whitespace")
+            if len(line) > MAX_COLUMNS:
+                findings.append(f"{rel}:{i}: {len(line)} columns "
+                                f"(limit {MAX_COLUMNS})")
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None)
+    parser.add_argument("--builtin-only", action="store_true",
+                        help="skip clang-format even if installed (used by "
+                             "format_check's own tests)")
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args()
+
+    root = args.root or os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    paths = args.paths or ["src", "tests", "bench", "examples"]
+    files = collect_files(root, paths)
+
+    binary = None if args.builtin_only else find_clang_format()
+    if binary:
+        findings = check_with_clang_format(binary, root, files)
+        mode = f"clang-format ({binary})"
+    else:
+        findings = check_builtin(root, files)
+        mode = "builtin fallback (clang-format not installed)"
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"format_check[{mode}]: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"format_check[{mode}]: clean ({len(files)} files)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""gva_lint: project-specific static checks clang-tidy cannot express.
+
+The repo's correctness story rests on invariants that are conventions, not
+types: scoring paths must be deterministic, reductions must not depend on
+hash-table iteration order, observability spans follow a naming scheme, and
+library headers must not abort through unprefixed macros. This lint makes
+those conventions machine-checked. Run as:
+
+    python3 tools/lint/gva_lint.py [--root REPO_ROOT] [paths...]
+
+With no paths it checks the default surface (src/). Exit code 0 means no
+findings; 1 means findings were printed, one per line, in
+`path:line: [rule] message` form.
+
+Suppressions: append `// gva-lint: allow(<rule>)` to the offending line.
+Every suppression is a documented exception — the comment survives review.
+
+Rules
+-----
+determinism-rng      rand()/std::rand/srand/time(nullptr)/system_clock/
+                     random_device in deterministic subsystems
+                     (src/{core,discord,grammar,sax,ensemble,timeseries}).
+                     Scores must be replayable; wall clocks and global RNG
+                     state are not. Use util/rng.h (seeded) instead.
+unordered-iteration  range-for over a std::unordered_{map,set} in the same
+                     deterministic subsystems. Iteration order is
+                     implementation-defined; anything it feeds (sums, best-
+                     candidate reductions, output ordering) silently loses
+                     the bit-identical-results contract. Iterate a sorted
+                     copy or an index vector instead.
+span-naming          GVA_OBS_SPAN names must be dotted lowercase
+                     "subsystem.verb" (e.g. "grammar.sequitur.induce") so
+                     trace files and stage metrics aggregate predictably.
+check-in-header      bare CHECK(/DCHECK( (no GVA_ prefix) in headers under
+                     src/. Library headers ship to users; only the
+                     namespaced GVA_CHECK family may abort.
+include-self-first   a .cc file's first #include must be its own header,
+                     proving the header is self-contained.
+include-bits         #include <bits/...> is libstdc++ internals; spell the
+                     real header.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# Subsystems whose outputs must be bit-reproducible across runs, thread
+# counts, and platforms (the determinism contract in DESIGN.md §5b).
+DETERMINISTIC_DIRS = (
+    "src/core",
+    "src/discord",
+    "src/grammar",
+    "src/sax",
+    "src/ensemble",
+    "src/timeseries",
+)
+
+ALLOW_RE = re.compile(r"//\s*gva-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def allowed_rules(line: str) -> set[str]:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Removes string literal contents and // comments so pattern rules do
+    not fire on prose. Char literals and raw strings are approximated —
+    good enough for the patterns checked here."""
+    out = []
+    i = 0
+    in_str = None
+    while i < len(line):
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+                out.append(c)
+            i += 1
+            continue
+        if c in ("\"", "'"):
+            in_str = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and line[i : i + 2] == "//":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+# --- rule: determinism-rng --------------------------------------------------
+
+RNG_PATTERNS = [
+    (re.compile(r"(?<![\w.:])(?:std::)?rand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"(?<![\w.:])(?:std::)?srand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w.:])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+     "time(nullptr)"),
+    (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+    (re.compile(r"(?<![\w.:])(?:std::)?random_device"), "std::random_device"),
+]
+
+
+def check_determinism_rng(path: str, rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith(DETERMINISTIC_DIRS):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "determinism-rng" in allowed_rules(raw):
+            continue
+        code = strip_strings_and_comments(raw)
+        for pattern, label in RNG_PATTERNS:
+            if pattern.search(code):
+                findings.append(Finding(
+                    rel, i, "determinism-rng",
+                    f"{label} in a deterministic subsystem; scoring paths "
+                    "must be replayable — use util/rng.h (seeded) or take "
+                    "the value as a parameter"))
+    return findings
+
+
+# --- rule: unordered-iteration ----------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*>\s*"
+    r"(&?\s*)(\w+)\s*[;={(,)]")
+RANGE_FOR_RE = re.compile(r"for\s*\(.*?:\s*(\*?\s*[\w.\->]+?)\s*\)")
+
+
+def check_unordered_iteration(path: str, rel: str,
+                              lines: list[str]) -> list[Finding]:
+    if not rel.startswith(DETERMINISTIC_DIRS):
+        return []
+    # Pass 1: names declared (anywhere in the file) with an unordered type.
+    unordered_names: set[str] = set()
+    for raw in lines:
+        code = strip_strings_and_comments(raw)
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(2))
+    if not unordered_names:
+        return []
+    # Pass 2: range-for statements whose range expression resolves to one of
+    # those names (directly, or via ->name / .name member access).
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "unordered-iteration" in allowed_rules(raw):
+            continue
+        code = strip_strings_and_comments(raw)
+        for m in RANGE_FOR_RE.finditer(code):
+            expr = m.group(1).lstrip("*").strip()
+            terminal = re.split(r"\.|->", expr)[-1]
+            if terminal in unordered_names:
+                findings.append(Finding(
+                    rel, i, "unordered-iteration",
+                    f"range-for over unordered container '{terminal}': "
+                    "iteration order is implementation-defined and breaks "
+                    "the bit-identical-results contract — iterate a sorted "
+                    "copy, or suppress with a comment proving order cannot "
+                    "reach a score/reduction/output"))
+    return findings
+
+
+# --- rule: span-naming --------------------------------------------------------
+
+SPAN_CALL_RE = re.compile(r"GVA_OBS_SPAN\s*\(\s*(\"([^\"]*)\")?")
+SPAN_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+
+def check_span_naming(path: str, rel: str, lines: list[str]) -> list[Finding]:
+    if "obs/trace.h" in rel:  # the macro's own definition site
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "span-naming" in allowed_rules(raw):
+            continue
+        if re.match(r"\s*#\s*define\b", raw):  # macro definition site
+            continue
+        for m in SPAN_CALL_RE.finditer(raw):
+            if m.group(1) is None:
+                findings.append(Finding(
+                    rel, i, "span-naming",
+                    "GVA_OBS_SPAN name must be a string literal (trace "
+                    "events keep the pointer, not a copy)"))
+                continue
+            name = m.group(2)
+            if not SPAN_NAME_RE.match(name):
+                findings.append(Finding(
+                    rel, i, "span-naming",
+                    f'span name "{name}" must be dotted lowercase '
+                    '"subsystem.verb" (e.g. "grammar.sequitur.induce")'))
+    return findings
+
+
+# --- rule: check-in-header ----------------------------------------------------
+
+BARE_CHECK_RE = re.compile(
+    r"(?<![\w])(?<!GVA_)D?CHECK(?:_(?:EQ|NE|LT|LE|GT|GE|OK))?\s*\(")
+
+
+def check_check_in_header(path: str, rel: str,
+                          lines: list[str]) -> list[Finding]:
+    if not (rel.startswith("src/") and rel.endswith(".h")):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "check-in-header" in allowed_rules(raw):
+            continue
+        code = strip_strings_and_comments(raw)
+        if BARE_CHECK_RE.search(code):
+            findings.append(Finding(
+                rel, i, "check-in-header",
+                "bare CHECK()/DCHECK() in a shipped header; only the "
+                "GVA_CHECK family (util/check.h) may abort from library "
+                "code"))
+    return findings
+
+
+# --- rule: include-self-first -------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(["<])([^">]+)[">]')
+
+
+def check_include_self_first(path: str, rel: str,
+                             lines: list[str]) -> list[Finding]:
+    if not (rel.startswith("src/") and rel.endswith(".cc")):
+        return []
+    own_header = rel[len("src/"):-len(".cc")] + ".h"
+    if not os.path.exists(os.path.join(os.path.dirname(path),
+                                       os.path.basename(own_header))):
+        return []  # no paired header (e.g. a main file): nothing to check
+    for i, raw in enumerate(lines, 1):
+        m = INCLUDE_RE.match(raw)
+        if not m:
+            continue
+        if "include-self-first" in allowed_rules(raw):
+            return []
+        if m.group(1) == '"' and m.group(2) == own_header:
+            return []
+        return [Finding(
+            rel, i, "include-self-first",
+            f'first #include must be the file\'s own header "{own_header}" '
+            "(proves the header is self-contained)")]
+    return []
+
+
+# --- rule: include-bits -------------------------------------------------------
+
+BITS_RE = re.compile(r'#\s*include\s*<bits/')
+
+
+def check_include_bits(path: str, rel: str, lines: list[str]) -> list[Finding]:
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "include-bits" in allowed_rules(raw):
+            continue
+        if BITS_RE.search(raw):
+            findings.append(Finding(
+                rel, i, "include-bits",
+                "<bits/...> is libstdc++ internals; include the standard "
+                "header instead"))
+    return findings
+
+
+# --- driver -------------------------------------------------------------------
+
+ALL_RULES = {
+    "determinism-rng": check_determinism_rng,
+    "unordered-iteration": check_unordered_iteration,
+    "span-naming": check_span_naming,
+    "check-in-header": check_check_in_header,
+    "include-self-first": check_include_self_first,
+    "include-bits": check_include_bits,
+}
+
+SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+
+
+def lint_file(path: str, rel: str) -> list[Finding]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        return [Finding(rel, 0, "io", f"unreadable: {e}")]
+    rel = rel.replace(os.sep, "/")
+    findings = []
+    for checker in ALL_RULES.values():
+        findings.extend(checker(path, rel, lines))
+    return findings
+
+
+def collect_files(root: str, paths: list[str]) -> list[tuple[str, str]]:
+    out = []
+    for p in paths:
+        absolute = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(absolute):
+            out.append((absolute, os.path.relpath(absolute, root)))
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    out.append((full, os.path.relpath(full, root)))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root findings are reported relative to "
+                             "(default: this script's ../../)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src)")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    paths = args.paths or ["src"]
+
+    findings: list[Finding] = []
+    files = collect_files(root, paths)
+    for full, rel in files:
+        findings.extend(lint_file(full, rel))
+
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(f)
+    if findings:
+        print(f"gva_lint: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"gva_lint: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Self-test for gva_lint.py: every rule must fire on its seeded fixture
+(the deliberately-violating files under testdata/src/) and stay quiet on the
+clean fixture. Run directly or via `ctest -L lint`."""
+
+from __future__ import annotations
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import gva_lint  # noqa: E402
+
+TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)), "testdata")
+
+
+def findings_for(rel_path: str) -> list[gva_lint.Finding]:
+    full = os.path.join(TESTDATA, rel_path)
+    return gva_lint.lint_file(full, rel_path)
+
+
+def rules_of(findings: list[gva_lint.Finding]) -> list[str]:
+    return [f.rule for f in findings]
+
+
+class DeterminismRngRule(unittest.TestCase):
+    def test_every_pattern_fires_once(self) -> None:
+        findings = findings_for("src/core/bad_rng.cc")
+        self.assertEqual(rules_of(findings), ["determinism-rng"] * 5)
+        messages = "\n".join(f.message for f in findings)
+        for label in ("rand()", "srand()", "time(nullptr)",
+                      "std::chrono::system_clock", "std::random_device"):
+            self.assertIn(label, messages)
+
+    def test_suppression_and_prose_do_not_fire(self) -> None:
+        findings = findings_for("src/core/bad_rng.cc")
+        flagged_lines = {f.line for f in findings}
+        lines = open(os.path.join(TESTDATA, "src/core/bad_rng.cc"),
+                     encoding="utf-8").read().splitlines()
+        for i, line in enumerate(lines, 1):
+            if "allow(determinism-rng)" in line or "ProseIsFine" in line:
+                self.assertNotIn(i, flagged_lines)
+
+    def test_outside_deterministic_dirs_is_exempt(self) -> None:
+        # The same content under src/viz (not a scored subsystem) is legal.
+        full = os.path.join(TESTDATA, "src/core/bad_rng.cc")
+        lines = open(full, encoding="utf-8").read().splitlines()
+        self.assertEqual(
+            gva_lint.check_determinism_rng(full, "src/viz/bad_rng.cc", lines),
+            [])
+
+
+class UnorderedIterationRule(unittest.TestCase):
+    def test_local_param_and_member_all_fire(self) -> None:
+        findings = findings_for("src/core/bad_unordered.cc")
+        self.assertEqual(rules_of(findings), ["unordered-iteration"] * 3)
+
+    def test_suppressed_line_does_not_fire(self) -> None:
+        findings = findings_for("src/core/bad_unordered.cc")
+        lines = open(os.path.join(TESTDATA, "src/core/bad_unordered.cc"),
+                     encoding="utf-8").read().splitlines()
+        for f in findings:
+            self.assertNotIn("allow(unordered-iteration)", lines[f.line - 1])
+
+
+class SpanNamingRule(unittest.TestCase):
+    def test_bad_names_and_non_literal_fire(self) -> None:
+        findings = findings_for("src/discord/bad_span.cc")
+        self.assertEqual(rules_of(findings), ["span-naming"] * 3)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn('"induce"', messages)
+        self.assertIn('"Grammar.Induce"', messages)
+        self.assertIn("string literal", messages)
+
+
+class CheckInHeaderRule(unittest.TestCase):
+    def test_bare_check_family_fires_in_header(self) -> None:
+        findings = findings_for("src/grammar/bad_check.h")
+        self.assertEqual(rules_of(findings), ["check-in-header"] * 3)
+
+    def test_cc_files_are_exempt(self) -> None:
+        full = os.path.join(TESTDATA, "src/grammar/bad_check.h")
+        lines = open(full, encoding="utf-8").read().splitlines()
+        self.assertEqual(
+            gva_lint.check_check_in_header(full, "src/grammar/bad_check.cc",
+                                           lines),
+            [])
+
+
+class IncludeHygieneRules(unittest.TestCase):
+    def test_self_include_not_first_fires(self) -> None:
+        findings = findings_for("src/sax/bad_include_order.cc")
+        self.assertEqual(rules_of(findings), ["include-self-first"])
+        self.assertIn("bad_include_order.h", findings[0].message)
+
+    def test_bits_include_fires(self) -> None:
+        findings = findings_for("src/timeseries/bad_bits.cc")
+        self.assertEqual(rules_of(findings), ["include-bits"])
+
+
+class CleanFixture(unittest.TestCase):
+    def test_clean_pair_has_no_findings(self) -> None:
+        self.assertEqual(findings_for("src/ensemble/clean.cc"), [])
+        self.assertEqual(findings_for("src/ensemble/clean.h"), [])
+
+
+class DriverBehaviour(unittest.TestCase):
+    def test_main_exit_codes(self) -> None:
+        # Over the violating fixture tree: findings, exit 1.
+        self.assertEqual(gva_lint.main(["--root", TESTDATA, "src"]), 1)
+        # Over the clean subtree only: exit 0.
+        self.assertEqual(
+            gva_lint.main(["--root", TESTDATA, "src/ensemble"]), 0)
+
+    def test_fixture_tree_total(self) -> None:
+        # One place asserting the full seeded-violation inventory: if a rule
+        # regresses to never firing, this count drops and the suite fails.
+        total = []
+        for dirpath, _, filenames in os.walk(os.path.join(TESTDATA, "src")):
+            for name in sorted(filenames):
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, TESTDATA)
+                total.extend(gva_lint.lint_file(full, rel))
+        by_rule: dict[str, int] = {}
+        for f in total:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        self.assertEqual(by_rule, {
+            "determinism-rng": 5,
+            "unordered-iteration": 3,
+            "span-naming": 3,
+            "check-in-header": 3,
+            "include-self-first": 1,
+            "include-bits": 1,
+        })
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,33 @@
+// Fixture: every determinism-rng pattern must be flagged in a deterministic
+// subsystem (fake src/core). Expected findings: 5.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace gva {
+
+double NondeterministicScore() {
+  double score = static_cast<double>(rand());          // finding: rand()
+  std::srand(42);                                      // finding: srand()
+  score += static_cast<double>(time(nullptr));         // finding: time()
+  auto now = std::chrono::system_clock::now();         // finding: system_clock
+  std::random_device rd;                               // finding: random_device
+  score += static_cast<double>(rd());
+  score += static_cast<double>(now.time_since_epoch().count());
+  return score;
+}
+
+double SuppressedScore() {
+  // A documented exception must not be flagged.
+  return static_cast<double>(rand());  // gva-lint: allow(determinism-rng)
+}
+
+void ProseIsFine() {
+  // Mentioning rand() or time(nullptr) in a comment is not a finding, and
+  // neither is a string: ("rand()").
+  const char* label = "rand() time(nullptr) system_clock";
+  (void)label;
+}
+
+}  // namespace gva

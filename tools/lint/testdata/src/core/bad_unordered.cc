@@ -1,0 +1,50 @@
+// Fixture: iteration over unordered containers in a deterministic subsystem
+// (fake src/core). Expected unordered-iteration findings: 3.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gva {
+
+struct ScoreState {
+  std::unordered_map<int, double> per_config;
+};
+
+double SumInUnorderedOrder(const std::unordered_set<std::string>& words) {
+  std::unordered_map<std::string, double> scores;
+  double total = 0.0;
+  for (const auto& [word, score] : scores) {  // finding: local map
+    total += score;
+  }
+  for (const std::string& w : words) {  // finding: parameter set
+    total += static_cast<double>(w.size());
+  }
+  return total;
+}
+
+double SumMember(const ScoreState& state) {
+  double total = 0.0;
+  for (const auto& entry : state.per_config) {  // finding: member access
+    total += entry.second;
+  }
+  return total;
+}
+
+double OrderedIsFine(const std::unordered_map<int, double>& scores) {
+  // Draining through a sorted index vector keeps reductions deterministic.
+  std::vector<int> keys;
+  keys.reserve(scores.size());
+  for (const auto& [k, v] : scores) {  // gva-lint: allow(unordered-iteration)
+    keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  double total = 0.0;
+  for (int k : keys) {
+    total += scores.at(k);
+  }
+  return total;
+}
+
+}  // namespace gva

@@ -1,0 +1,18 @@
+// Fixture: GVA_OBS_SPAN naming violations. Expected span-naming findings: 3
+// (undotted name, uppercase name, non-literal name).
+#include <string>
+
+#define GVA_OBS_SPAN(name) (void)(name)
+
+namespace gva {
+
+void Search(const std::string& dynamic_name) {
+  GVA_OBS_SPAN("induce");                    // finding: no subsystem dot
+  GVA_OBS_SPAN("Grammar.Induce");            // finding: not lowercase
+  GVA_OBS_SPAN(dynamic_name.c_str());        // finding: not a literal
+  GVA_OBS_SPAN("grammar.sequitur.induce");   // ok: dotted lowercase
+  GVA_OBS_SPAN("search.rra_round.chunk");    // ok: underscores allowed
+  GVA_OBS_SPAN("X.y");  // gva-lint: allow(span-naming)
+}
+
+}  // namespace gva

@@ -1,0 +1,26 @@
+// Fixture: a file that follows every convention. Expected findings: 0.
+#include "ensemble/clean.h"
+
+#include <map>
+#include <vector>
+
+#define GVA_OBS_SPAN(name) (void)(name)
+
+namespace gva {
+
+double CleanScore(std::size_t n) {
+  GVA_OBS_SPAN("ensemble.clean_score");
+  // Ordered containers iterate deterministically; no finding.
+  std::map<int, double> scores;
+  std::vector<double> values(n, 1.0);
+  double total = 0.0;
+  for (const auto& [k, v] : scores) {
+    total += v;
+  }
+  for (double v : values) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace gva

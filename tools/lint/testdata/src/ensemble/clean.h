@@ -1,0 +1,12 @@
+// Paired header for the clean fixture: no rule should fire anywhere in the
+// clean pair.
+#ifndef GVA_LINT_TESTDATA_CLEAN_H_
+#define GVA_LINT_TESTDATA_CLEAN_H_
+
+#include <cstddef>
+
+namespace gva {
+double CleanScore(std::size_t n);
+}  // namespace gva
+
+#endif  // GVA_LINT_TESTDATA_CLEAN_H_

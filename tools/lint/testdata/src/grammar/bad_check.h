@@ -1,0 +1,23 @@
+// Fixture: bare CHECK/DCHECK macros in a shipped header. Expected
+// check-in-header findings: 3. GVA_-prefixed macros are fine.
+#ifndef GVA_LINT_TESTDATA_BAD_CHECK_H_
+#define GVA_LINT_TESTDATA_BAD_CHECK_H_
+
+#define GVA_CHECK(c) (void)(c)
+#define GVA_CHECK_LT(a, b) (void)((a) < (b))
+
+namespace gva {
+
+inline int Pick(int i, int n) {
+  CHECK(i >= 0);         // finding: bare CHECK in header
+  CHECK_LT(i, n);        // finding: bare CHECK_LT in header
+  DCHECK(n > 0);         // finding: bare DCHECK in header
+  GVA_CHECK(i >= 0);     // ok: namespaced
+  GVA_CHECK_LT(i, n);    // ok: namespaced
+  CHECK(n < 100);        // gva-lint: allow(check-in-header)
+  return i;
+}
+
+}  // namespace gva
+
+#endif  // GVA_LINT_TESTDATA_BAD_CHECK_H_

@@ -1,0 +1,9 @@
+// Fixture: the first #include is not the file's own header. Expected
+// include-self-first findings: 1 (reported at the first include line).
+#include <vector>
+
+#include "sax/bad_include_order.h"
+
+namespace gva {
+int IncludeOrderFixture() { return static_cast<int>(std::vector<int>{}.size()); }
+}  // namespace gva

@@ -1,0 +1,9 @@
+// Paired header for the include-self-first fixture.
+#ifndef GVA_LINT_TESTDATA_BAD_INCLUDE_ORDER_H_
+#define GVA_LINT_TESTDATA_BAD_INCLUDE_ORDER_H_
+
+namespace gva {
+int IncludeOrderFixture();
+}  // namespace gva
+
+#endif  // GVA_LINT_TESTDATA_BAD_INCLUDE_ORDER_H_

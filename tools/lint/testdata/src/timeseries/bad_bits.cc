@@ -1,0 +1,6 @@
+// Fixture: libstdc++ internal include. Expected include-bits findings: 1.
+#include <bits/stdc++.h>
+
+namespace gva {
+int BitsFixture() { return 0; }
+}  // namespace gva
