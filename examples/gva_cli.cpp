@@ -4,9 +4,13 @@
 //   gva_cli rra      <series.csv> [options]  RRA variable-length discords
 //   gva_cli ensemble <series.csv> [options]  multi-config ensemble scoring
 //   gva_cli profile  <series.csv> [options]  parameter-grid profiling
+//   gva_cli stream   <series.csv|-> [options] streaming monitor replay
 //
 // The input may be a CSV path or one of the built-in synthetic datasets
 // ("demo:ecg", "demo:power"), which makes the CLI runnable with no files.
+// The stream command additionally accepts "-" to consume whitespace-
+// separated samples from stdin (live ingestion: nothing is materialized,
+// memory stays bounded by --horizon).
 //
 // Common options (--flag value and --flag=value are both accepted):
 //   --column N      CSV column to read (default 0)
@@ -19,6 +23,16 @@
 //   --threads N     rra/ensemble: worker threads (0 = all cores; default 1);
 //                   results are identical for every value
 //   --csv-out PATH  write the density curve next to the series as CSV
+//
+// Stream options:
+//   --horizon N       eviction horizon in samples; reports cover the last
+//                     [horizon, 2*horizon) samples and older state is
+//                     dropped (0 = keep everything; default 0). Must be 0
+//                     or >= window.
+//   --report-every N  draw an incremental report every N samples (0 = only
+//                     the final report; default 0). Reports print absolute
+//                     stream positions. The `stream.*` counters (samples,
+//                     tokens, evictions, reports) show under --metrics.
 //
 // Ensemble options (also reachable as `density --ensemble`):
 //   --grid SPEC     configuration grid, e.g. --grid w:80,160,paa:4,8,a:3,6
@@ -46,6 +60,7 @@
 #include "core/parameter_profile.h"
 #include "core/rra.h"
 #include "core/rule_density_detector.h"
+#include "core/streaming.h"
 #include "datasets/ecg.h"
 #include "ensemble/ensemble.h"
 #include "datasets/power_demand.h"
@@ -81,11 +96,12 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gva_cli <density|rra|ensemble|profile> "
-               "<series.csv|demo:ecg|demo:power> "
+               "usage: gva_cli <density|rra|ensemble|profile|stream> "
+               "<series.csv|demo:ecg|demo:power|-> "
                "[--window N --paa N --alphabet N --column N --top N "
                "--threshold F --approx --threads N --csv-out PATH "
                "--ensemble --grid SPEC --no-share "
+               "--horizon N --report-every N "
                "--trace PATH --metrics PATH --quiet]\n");
   return 2;
 }
@@ -349,6 +365,127 @@ int RunEnsembleCommand(const Args& args, const TimeSeries& series) {
   return 0;
 }
 
+/// Prints one streaming report. Anomaly positions are translated from
+/// suffix-relative to absolute stream coordinates.
+void PrintStreamReport(const StreamingReport& report, size_t samples_seen,
+                       size_t tokens, size_t evicted) {
+  std::printf("t=%zu  suffix=[%zu, %zu)  tokens=%zu  evicted=%zu  "
+              "anomalies=%zu\n",
+              samples_seen, report.suffix_start,
+              report.suffix_start + report.suffix_length, tokens, evicted,
+              report.detection.anomalies.size());
+  for (const DensityAnomaly& a : report.detection.anomalies) {
+    std::printf("  #%zu  [%zu, %zu)  min_density=%u  mean_density=%.2f\n",
+                a.rank, report.suffix_start + a.span.start,
+                report.suffix_start + a.span.end, a.min_density,
+                a.mean_density);
+  }
+}
+
+int RunStream(const Args& args) {
+  const bool quiet = args.has_flag("quiet");
+  const bool from_stdin = args.csv_path == "-";
+
+  std::optional<TimeSeries> series;
+  StreamingOptions options;
+  if (from_stdin) {
+    // No data to suggest parameters from: flags with library defaults.
+    options.sax.window = args.get_size("window", options.sax.window);
+    options.sax.paa_size = args.get_size("paa", options.sax.paa_size);
+    options.sax.alphabet_size =
+        args.get_size("alphabet", options.sax.alphabet_size);
+    if (!quiet) {
+      std::printf("streaming from stdin: window=%zu paa=%zu alphabet=%zu\n",
+                  options.sax.window, options.sax.paa_size,
+                  options.sax.alphabet_size);
+    }
+  } else {
+    StatusOr<TimeSeries> loaded = LoadInput(args);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", args.csv_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    series = std::move(*loaded);
+    if (!quiet) {
+      std::printf("replaying %zu points from %s\n", series->size(),
+                  args.csv_path.c_str());
+    }
+    StatusOr<SaxOptions> sax = ResolveSax(args, *series);
+    if (!sax.ok()) {
+      std::fprintf(stderr, "%s\n", sax.status().ToString().c_str());
+      return 1;
+    }
+    options.sax = *sax;
+  }
+  options.density.threshold_fraction = args.get_double("threshold", 0.05);
+  options.density.max_anomalies = args.get_size("top", 3);
+  options.horizon = args.get_size("horizon", 0);
+
+  auto monitor = StreamingAnomalyMonitor::Create(options);
+  if (!monitor.ok()) {
+    std::fprintf(stderr, "%s\n", monitor.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t report_every = args.get_size("report-every", 0);
+  bool failed = false;
+  auto feed = [&](double value) -> bool {  // false stops the stream
+    monitor->Push(value);
+    if (report_every == 0 || monitor->samples_seen() % report_every != 0) {
+      return true;
+    }
+    auto report = monitor->Report();
+    if (!report.ok()) {
+      // "Not enough data yet" is expected near the stream head; anything
+      // else is a real failure.
+      if (report.status().code() == StatusCode::kFailedPrecondition) {
+        return true;
+      }
+      std::fprintf(stderr, "report failed: %s\n",
+                   report.status().ToString().c_str());
+      failed = true;
+      return false;
+    }
+    PrintStreamReport(*report, monitor->samples_seen(),
+                      monitor->tokens_emitted(),
+                      monitor->generations_evicted());
+    return true;
+  };
+
+  if (from_stdin) {
+    double value = 0.0;
+    while (std::scanf("%lf", &value) == 1) {
+      if (!feed(value)) {
+        break;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < series->size(); ++i) {
+      if (!feed((*series)[i])) {
+        break;
+      }
+    }
+  }
+  if (failed) {
+    return 1;
+  }
+
+  auto final_report = monitor->Report();
+  if (!final_report.ok()) {
+    std::fprintf(stderr, "final report failed: %s\n",
+                 final_report.status().ToString().c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("--- final report ---\n");
+  }
+  PrintStreamReport(*final_report, monitor->samples_seen(),
+                    monitor->tokens_emitted(),
+                    monitor->generations_evicted());
+  return 0;
+}
+
 int RunProfile(const Args& args, const TimeSeries& series) {
   (void)args;
   auto profiles = SweepParameterGrid(series, {});
@@ -394,6 +531,17 @@ int main(int argc, char** argv) {
     }
     obs_options.announce = !quiet;
     session.emplace(std::move(obs_options));
+  }
+
+  // Stream handles its own input (it accepts "-" for stdin, which LoadInput
+  // cannot), so dispatch before the batch loading path.
+  if (args.command == "stream") {
+    int exit_code = RunStream(args);
+    if (session.has_value() && session->metrics() && !quiet) {
+      std::printf("\n--- per-stage metrics ---\n%s",
+                  MetricsSummaryTable(obs::GlobalMetrics()).c_str());
+    }
+    return exit_code;
   }
 
   StatusOr<TimeSeries> series = LoadInput(args);

@@ -60,16 +60,23 @@ int main() {
     }
     auto report = monitor->Report();
     if (!report.ok()) {
-      continue;  // not enough data yet
+      // Only "not enough data yet" is expected this early in the stream;
+      // anything else is a real failure and must not be swallowed.
+      if (report.status().code() == StatusCode::kFailedPrecondition) {
+        continue;
+      }
+      std::printf("report failed: %s\n", report.status().ToString().c_str());
+      return 1;
     }
     bool fault_visible = false;
-    for (const DensityAnomaly& a : report->anomalies) {
+    for (const DensityAnomaly& a : report->detection.anomalies) {
       if (HitsAnyTruth(a.span, {truth}, stream_options.sax.window)) {
         fault_visible = true;
       }
     }
     std::printf("t=%6zu  tokens=%5zu  anomalies=%zu  fault visible: %s\n",
-                i + 1, monitor->tokens_emitted(), report->anomalies.size(),
+                i + 1, monitor->tokens_emitted(),
+                report->detection.anomalies.size(),
                 fault_visible ? "YES" : "no");
     if (fault_visible && first_detection == 0) {
       first_detection = i + 1;

@@ -4,8 +4,23 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/strings.h"
 
 namespace gva {
+
+Status DensityAnomalyOptions::Validate() const {
+  // Written as a negated membership test so NaN (every comparison false)
+  // is rejected too.
+  if (!(threshold_fraction >= 0.0 && threshold_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("threshold_fraction must be in [0, 1], got %g",
+                  threshold_fraction));
+  }
+  if (min_length == 0) {
+    return Status::InvalidArgument("min_length must be >= 1");
+  }
+  return Status::Ok();
+}
 
 std::vector<DensityAnomaly> FindLowDensityIntervals(
     const std::vector<uint32_t>& density, size_t window,
@@ -75,6 +90,7 @@ std::vector<DensityAnomaly> FindLowDensityIntervals(
 StatusOr<DensityDetection> DetectDensityAnomalies(
     std::span<const double> series, const SaxOptions& sax,
     const DensityAnomalyOptions& options) {
+  GVA_RETURN_IF_ERROR(options.Validate());
   DensityDetection result;
   GVA_ASSIGN_OR_RETURN(result.decomposition, DecomposeSeries(series, sax));
   result.anomalies = FindLowDensityIntervals(result.decomposition.density,

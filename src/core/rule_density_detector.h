@@ -25,7 +25,14 @@ struct DensityAnomalyOptions {
   /// boundaries simply because fewer windows cover them.
   bool exclude_edges = true;
   /// Keep at most this many anomalies (ranked by mean density ascending).
+  /// 0 is allowed and reports nothing (callers use it as "count only").
   size_t max_anomalies = 10;
+
+  /// Validates ranges: threshold_fraction must lie in [0, 1] (NaN
+  /// rejected), min_length must be >= 1. Checked by both the batch
+  /// detector and the streaming monitor — out-of-range values used to be
+  /// silently accepted and produced nonsense reports.
+  Status Validate() const;
 };
 
 /// One low-density interval reported as a (putative) anomaly.

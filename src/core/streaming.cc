@@ -1,55 +1,159 @@
 #include "core/streaming.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
 #include "sax/mindist.h"
-#include "timeseries/sliding_window.h"
+#include "util/check.h"
+#include "util/strings.h"
 
 namespace gva {
 
+namespace {
+
+/// The numerosity-reduction decision against the generation's previously
+/// kept word (paper Section 3.2) — the streaming twin of the batch loop in
+/// sax_transform.cc.
+bool KeepWord(const std::vector<std::string>& kept, const std::string& word,
+              NumerosityReduction numerosity, const NormalAlphabet& alphabet) {
+  if (kept.empty()) {
+    return true;
+  }
+  const std::string& prev = kept.back();
+  switch (numerosity) {
+    case NumerosityReduction::kNone:
+      return true;
+    case NumerosityReduction::kExact:
+      return word != prev;
+    case NumerosityReduction::kMinDist:
+      return !MinDistIsZero(word, prev, alphabet);
+  }
+  return true;
+}
+
+bool SpanBefore(const Interval& a, const Interval& b) {
+  return a.start != b.start ? a.start < b.start : a.end < b.end;
+}
+
+/// Difference-updates `density` (the curve built from the sorted span
+/// multiset `old_spans`) into the curve of the sorted span multiset
+/// `new_spans`: only spans present in exactly one of the two are touched,
+/// so the cost is proportional to the changed coverage, not the suffix.
+/// Removals are applied before additions — every point of a removed span
+/// is still covered by it in `density`, so the subtraction cannot
+/// underflow regardless of how additions interleave.
+void ApplySpanDeltas(const std::vector<Interval>& old_spans,
+                     const std::vector<Interval>& new_spans,
+                     std::vector<uint32_t>& density) {
+  std::vector<const Interval*> removed;
+  std::vector<const Interval*> added;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < old_spans.size() && j < new_spans.size()) {
+    if (old_spans[i] == new_spans[j]) {
+      ++i;
+      ++j;
+    } else if (SpanBefore(old_spans[i], new_spans[j])) {
+      removed.push_back(&old_spans[i++]);
+    } else {
+      added.push_back(&new_spans[j++]);
+    }
+  }
+  for (; i < old_spans.size(); ++i) {
+    removed.push_back(&old_spans[i]);
+  }
+  for (; j < new_spans.size(); ++j) {
+    added.push_back(&new_spans[j]);
+  }
+  for (const Interval* s : removed) {
+    for (size_t p = s->start; p < s->end && p < density.size(); ++p) {
+      GVA_DCHECK(density[p] > 0);
+      --density[p];
+    }
+  }
+  for (const Interval* s : added) {
+    for (size_t p = s->start; p < s->end && p < density.size(); ++p) {
+      ++density[p];
+    }
+  }
+}
+
+}  // namespace
+
+Status StreamingOptions::Validate() const {
+  GVA_RETURN_IF_ERROR(sax.Validate());
+  GVA_RETURN_IF_ERROR(density.Validate());
+  if (horizon != 0 && horizon < sax.window) {
+    return Status::InvalidArgument(
+        StrFormat("horizon (%zu) must be 0 (unbounded) or >= window (%zu)",
+                  horizon, sax.window));
+  }
+  return Status::Ok();
+}
+
+StreamingAnomalyMonitor::StreamingAnomalyMonitor(
+    const StreamingOptions& options)
+    : options_(options),
+      alphabet_(options.sax.alphabet_size),
+      samples_counter_(&obs::GlobalMetrics().counter("stream.samples")),
+      tokens_counter_(&obs::GlobalMetrics().counter("stream.tokens")),
+      evictions_counter_(&obs::GlobalMetrics().counter("stream.evictions")),
+      reports_counter_(&obs::GlobalMetrics().counter("stream.reports")) {}
+
 StatusOr<StreamingAnomalyMonitor> StreamingAnomalyMonitor::Create(
     const StreamingOptions& options) {
-  GVA_RETURN_IF_ERROR(options.sax.Validate());
+  GVA_RETURN_IF_ERROR(options.Validate());
   return StreamingAnomalyMonitor(options);
 }
 
 void StreamingAnomalyMonitor::Push(double value) {
-  series_.push_back(value);
-  const size_t window = options_.sax.window;
-  if (series_.size() < window) {
-    return;
-  }
-  // The newest complete window starts at series_.size() - window.
-  const size_t pos = series_.size() - window;
-  std::string word = SaxWordForWindow(
-      std::span<const double>(series_).subspan(pos, window), options_.sax,
-      alphabet_);
-
-  bool keep = true;
-  if (!words_.empty()) {
-    const std::string& prev = words_.back();
-    switch (options_.sax.numerosity) {
-      case NumerosityReduction::kNone:
-        break;
-      case NumerosityReduction::kExact:
-        keep = (word != prev);
-        break;
-      case NumerosityReduction::kMinDist:
-        keep = !MinDistIsZero(word, prev, alphabet_);
-        break;
+  const size_t t = samples_seen_;
+  const size_t horizon = options_.horizon;
+  if (horizon > 0) {
+    if (t % horizon == 0) {
+      // A new generation opens at every horizon boundary; once the one
+      // after next opens, the oldest covers >= 2*horizon samples and is
+      // retired wholesale (rules, tokens, vocabulary, density — bounded
+      // memory comes from dropping complete pipelines, not from surgically
+      // un-weaving the grammar).
+      if (generations_.size() == 2) {
+        generations_.erase(generations_.begin());
+        ++generations_evicted_;
+        evictions_counter_->Add(1);
+      }
+      generations_.emplace_back(t, options_.sax);
     }
+  } else if (generations_.empty()) {
+    generations_.emplace_back(0, options_.sax);
   }
-  if (!keep) {
+  for (Generation& generation : generations_) {
+    Feed(generation, value);
+  }
+  ++samples_seen_;
+  samples_counter_->Add(1);
+}
+
+void StreamingAnomalyMonitor::Feed(Generation& generation, double value) {
+  size_t pos = 0;
+  if (!generation.discretizer.Push(value, word_scratch_, &pos)) {
     return;
   }
-  auto [it, inserted] = vocabulary_.emplace(
-      word, static_cast<int32_t>(vocabulary_list_.size()));
-  if (inserted) {
-    vocabulary_list_.push_back(word);
+  if (!KeepWord(generation.words, word_scratch_, options_.sax.numerosity,
+                alphabet_)) {
+    return;
   }
-  const Status status = sequitur_.Append(it->second);
+  auto [it, inserted] = generation.vocabulary.emplace(
+      word_scratch_, static_cast<int32_t>(generation.vocabulary_list.size()));
+  if (inserted) {
+    generation.vocabulary_list.push_back(word_scratch_);
+  }
+  const Status status = generation.sequitur.Append(it->second);
   GVA_DCHECK(status.ok());
-  tokens_.push_back(it->second);
-  words_.push_back(std::move(word));
-  offsets_.push_back(pos);
+  generation.tokens.push_back(it->second);
+  generation.words.push_back(word_scratch_);
+  generation.offsets.push_back(pos);
+  tokens_counter_->Add(1);
 }
 
 void StreamingAnomalyMonitor::PushAll(std::span<const double> values) {
@@ -58,27 +162,73 @@ void StreamingAnomalyMonitor::PushAll(std::span<const double> values) {
   }
 }
 
-StatusOr<DensityDetection> StreamingAnomalyMonitor::Report() const {
-  if (series_.size() < options_.sax.window) {
-    return Status::FailedPrecondition(
-        "not enough samples for one window yet");
+size_t StreamingAnomalyMonitor::tokens_emitted() const {
+  return generations_.empty() ? 0 : generations_.front().tokens.size();
+}
+
+size_t StreamingAnomalyMonitor::retained_tokens() const {
+  size_t total = 0;
+  for (const Generation& generation : generations_) {
+    total += generation.tokens.size();
   }
-  DensityDetection detection;
-  GrammarDecomposition& d = detection.decomposition;
-  d.series_length = series_.size();
+  return total;
+}
+
+size_t StreamingAnomalyMonitor::report_suffix_start() const {
+  return generations_.empty() ? samples_seen_ : generations_.front().start;
+}
+
+size_t StreamingAnomalyMonitor::sax_fallback_words() const {
+  size_t total = 0;
+  for (const Generation& generation : generations_) {
+    total += generation.discretizer.fallback_words();
+  }
+  return total;
+}
+
+StatusOr<StreamingReport> StreamingAnomalyMonitor::Report() {
+  if (generations_.empty() ||
+      samples_seen_ - generations_.front().start < options_.sax.window) {
+    return Status::FailedPrecondition("not enough samples for one window yet");
+  }
+  GVA_OBS_SPAN("stream.report");
+  reports_counter_->Add(1);
+  Generation& generation = generations_.front();
+  const size_t suffix_length = samples_seen_ - generation.start;
+
+  StreamingReport report;
+  report.suffix_start = generation.start;
+  report.suffix_length = suffix_length;
+  GrammarDecomposition& d = report.detection.decomposition;
+  d.series_length = suffix_length;
   d.window = options_.sax.window;
-  d.records.words = words_;
-  d.records.offsets = offsets_;
-  d.grammar.grammar = sequitur_.ExtractGrammar();
-  d.grammar.vocabulary = vocabulary_list_;
-  d.grammar.tokens = tokens_;
-  d.intervals = MapRuleIntervals(d.grammar.grammar, d.records,
-                                 options_.sax.window, series_.size());
-  d.density = RuleDensityCurve(d.intervals, series_.size());
-  detection.anomalies =
-      FindLowDensityIntervals(d.density, options_.sax.window,
-                              options_.density);
-  return detection;
+  d.records.words = generation.words;
+  d.records.offsets = generation.offsets;
+  d.grammar.grammar = generation.sequitur.ExtractGrammar();
+  d.grammar.vocabulary = generation.vocabulary_list;
+  d.grammar.tokens = generation.tokens;
+  d.intervals =
+      MapRuleIntervals(d.grammar.grammar, d.records, d.window, suffix_length);
+
+  // Difference-update the generation's density curve: grow it to the new
+  // suffix length (new points start uncovered) and apply only the spans
+  // whose multiset membership changed since the last report. The result is
+  // identical to RuleDensityCurve(d.intervals, suffix_length) built from
+  // scratch — integer coverage counts add exactly.
+  generation.density.resize(suffix_length, 0);
+  std::vector<Interval> spans;
+  spans.reserve(d.intervals.size());
+  for (const RuleInterval& interval : d.intervals) {
+    spans.push_back(interval.span);
+  }
+  std::sort(spans.begin(), spans.end(), SpanBefore);
+  ApplySpanDeltas(generation.density_spans, spans, generation.density);
+  generation.density_spans = std::move(spans);
+
+  d.density = generation.density;
+  report.detection.anomalies =
+      FindLowDensityIntervals(generation.density, d.window, options_.density);
+  return report;
 }
 
 }  // namespace gva

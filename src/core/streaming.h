@@ -7,6 +7,7 @@
 
 #include "core/rule_density_detector.h"
 #include "grammar/sequitur.h"
+#include "obs/metrics.h"
 #include "sax/sax_transform.h"
 #include "util/statusor.h"
 
@@ -18,57 +19,139 @@ struct StreamingOptions {
   SaxOptions sax;
   /// Anomaly extraction parameters applied on each report.
   DensityAnomalyOptions density;
+  /// Eviction horizon in samples. 0 keeps the entire stream (reports cover
+  /// the full prefix and memory grows with it — the legacy behavior). A
+  /// positive horizon bounds retained state: reports always cover a suffix
+  /// of between `horizon` and 2x`horizon` samples and everything older is
+  /// evicted. Must be 0 or >= sax.window.
+  size_t horizon = 0;
+
+  /// Validates the SAX options, the density options, and the horizon.
+  Status Validate() const;
+};
+
+/// One streaming report: a density detection over the suffix the monitor
+/// currently retains. All positions inside `detection` (record offsets,
+/// rule intervals, anomaly spans) are relative to `suffix_start`; add it
+/// to translate into absolute stream positions.
+struct StreamingReport {
+  /// Absolute stream index of the first sample the report covers.
+  size_t suffix_start = 0;
+  /// Number of samples covered: samples_seen() - suffix_start. With a
+  /// positive horizon this stays within [horizon, 2*horizon].
+  size_t suffix_length = 0;
+  /// Bit-for-bit identical to DetectDensityAnomalies() on the same suffix.
+  DensityDetection detection;
 };
 
 /// Online rule-density anomaly monitoring — the paper's Section 7 points
 /// out that both SAX and Sequitur process the input left to right, enabling
-/// early anomaly detection on streams; this class realizes that: samples
-/// are pushed one at a time, each completed window is discretized, reduced
-/// and fed to an incremental Sequitur, and a density report over the data
-/// seen so far can be requested at any moment.
+/// early anomaly detection on streams; this class realizes that with
+/// amortized O(1) work per sample and memory bounded by the horizon.
 ///
-/// The report is bit-for-bit identical to running the batch detector on the
-/// same prefix (see StreamingTest.MatchesBatchDetection): streaming changes
-/// *when* work happens, never the result.
+/// Ingestion: each pushed sample advances an online incremental SAX
+/// discretizer (`OnlineSaxDiscretizer`: O(paa) per completed window via
+/// rolling prefix-sum rings, byte-identical words to the batch path), the
+/// kept words feed an append-only incremental Sequitur. Eviction is
+/// generational: with horizon H, a fresh pipeline generation starts at
+/// every multiple of H and at most two are live — samples are fed to both,
+/// reports come from the older one, and crossing a horizon boundary retires
+/// the oldest generation wholesale (its rules, tokens, vocabulary, and
+/// density state all drop at once). That keeps every report a *complete*
+/// decomposition of its suffix rather than an approximation over a
+/// partially-forgotten grammar.
+///
+/// Reporting: each generation maintains its rule-density curve across
+/// Report() calls as a difference update — only intervals whose coverage
+/// changed since the previous report are touched — so a report costs
+/// O(grammar + changed region + output), never O(stream prefix).
+///
+/// The equivalence contract (see streaming_differential_test.cc): a report
+/// at any moment, under any report cadence, is bit-for-bit identical to
+/// running the batch detector on the same suffix — streaming changes *when*
+/// work happens, never the result.
 class StreamingAnomalyMonitor {
  public:
-  /// Validates the options.
+  /// Validates the options (including `options.density` — see
+  /// DensityAnomalyOptions::Validate()).
   static StatusOr<StreamingAnomalyMonitor> Create(
       const StreamingOptions& options);
 
-  /// Feeds one sample. Amortized O(window) (one SAX word per sample once
-  /// the window is full).
+  /// Feeds one sample. Amortized O(1) (one O(paa) SAX word per sample once
+  /// the window is full; grammar upkeep is amortized constant).
   void Push(double value);
 
   /// Feeds a batch of samples.
   void PushAll(std::span<const double> values);
 
-  /// Samples consumed so far.
-  size_t samples_seen() const { return series_.size(); }
+  /// Samples consumed so far (absolute stream length).
+  size_t samples_seen() const { return samples_seen_; }
 
-  /// SAX words kept after numerosity reduction so far.
-  size_t tokens_emitted() const { return offsets_.size(); }
+  /// SAX words kept after numerosity reduction in the suffix a Report()
+  /// would cover right now.
+  size_t tokens_emitted() const;
 
-  /// Extracts the current grammar, maps rules onto the prefix seen so far,
-  /// and returns the density detection over it. O(prefix) — intended to be
-  /// called every so often, not per sample.
-  StatusOr<DensityDetection> Report() const;
+  /// Tokens retained across every live generation — the memory-relevant
+  /// number; bounded by the horizon (two generations of at most 2x`horizon`
+  /// windows), unbounded only when horizon == 0.
+  size_t retained_tokens() const;
+
+  /// Absolute stream index where a Report() issued now would start.
+  size_t report_suffix_start() const;
+
+  /// Generations retired so far (0 until the stream crosses 2x horizon).
+  size_t generations_evicted() const { return generations_evicted_; }
+
+  /// Completed windows recomputed through the reference SAX path because a
+  /// numerical guard fired (diagnostic; see OnlineSaxDiscretizer).
+  size_t sax_fallback_words() const;
+
+  /// Extracts the current grammar of the oldest live generation, maps its
+  /// rules onto the retained suffix, difference-updates the density curve,
+  /// and returns the detection. Fails with kFailedPrecondition until one
+  /// full window has streamed by; any other error is a real failure.
+  StatusOr<StreamingReport> Report();
 
  private:
-  explicit StreamingAnomalyMonitor(const StreamingOptions& options)
-      : options_(options), alphabet_(options.sax.alphabet_size) {}
+  /// One complete pipeline over the samples from `start` onward: online
+  /// discretizer -> numerosity reduction -> vocabulary -> Sequitur, plus
+  /// the incrementally maintained density state of the last report.
+  struct Generation {
+    Generation(size_t start_index, const SaxOptions& sax)
+        : start(start_index), discretizer(sax) {}
+
+    size_t start;
+    OnlineSaxDiscretizer discretizer;
+    std::vector<std::string> words;
+    std::vector<size_t> offsets;  // window starts, relative to `start`
+    std::vector<int32_t> tokens;
+    std::vector<std::string> vocabulary_list;
+    std::unordered_map<std::string, int32_t> vocabulary;
+    IncrementalSequitur sequitur;
+    // Density curve as of the last Report() on this generation, plus the
+    // sorted interval spans it was built from; the next Report() applies
+    // only the span multiset difference.
+    std::vector<uint32_t> density;
+    std::vector<Interval> density_spans;
+  };
+
+  explicit StreamingAnomalyMonitor(const StreamingOptions& options);
+
+  void Feed(Generation& generation, double value);
 
   StreamingOptions options_;
   NormalAlphabet alphabet_;
-  std::vector<double> series_;  // full prefix (the detectors need it)
-  // Discretization state: kept words/offsets after numerosity reduction,
-  // their token ids, and the vocabulary in first-occurrence order.
-  std::vector<std::string> words_;
-  std::vector<size_t> offsets_;
-  std::vector<int32_t> tokens_;
-  std::vector<std::string> vocabulary_list_;
-  std::unordered_map<std::string, int32_t> vocabulary_;
-  IncrementalSequitur sequitur_;
+  size_t samples_seen_ = 0;
+  size_t generations_evicted_ = 0;
+  // Oldest generation first; at most two are live with a positive horizon.
+  std::vector<Generation> generations_;
+  std::string word_scratch_;
+  // Registry-owned counters (stable addresses), so the monitor stays
+  // movable while hot paths skip the registry lock.
+  obs::Counter* samples_counter_;
+  obs::Counter* tokens_counter_;
+  obs::Counter* evictions_counter_;
+  obs::Counter* reports_counter_;
 };
 
 }  // namespace gva

@@ -80,189 +80,151 @@ bool MapLettersFromZ(const double* z, const double* err, size_t paa,
   return true;
 }
 
-/// Incremental per-window discretization state shared across all window
-/// positions: the series prefix sums plus the per-segment PAA geometry,
-/// which depends only on (window, paa_size) and is precomputed once.
-///
-/// The kernel computes each z-space PAA value algebraically from raw-value
-/// range sums — for segment mean s, window mean mu and stddev sigma the
-/// z-normalized PAA value is (s - mu) / sigma — instead of materializing
-/// the z-normalized window and averaging it the way the reference path
-/// (SaxWordForWindow) does. The two orderings agree only up to rounding
-/// noise, so every *decision* (flat-vs-normalized window, value-vs-
-/// breakpoint) is guarded by a conservative error bound; a window whose
-/// decision falls inside the bound is recomputed through the reference
-/// path. That keeps the output byte-identical to the reference for every
-/// input while the guard virtually never fires on real data (the bound is
-/// orders of magnitude below typical breakpoint clearances).
-class IncrementalDiscretizer {
- public:
-  /// `shared_stats`, when non-null, must be a RollingStats over exactly
-  /// `series`; the discretizer then skips its own prefix-sum build. The
-  /// prefix arrays are deterministic functions of the series, so shared and
-  /// owned tables yield bit-identical words.
-  IncrementalDiscretizer(std::span<const double> series,
-                         const SaxOptions& opts,
-                         const NormalAlphabet& alphabet,
-                         const RollingStats* shared_stats = nullptr)
-      : series_(series),
-        owned_stats_(shared_stats == nullptr
-                         ? std::optional<RollingStats>(std::in_place, series)
-                         : std::nullopt),
-        stats_(shared_stats != nullptr ? shared_stats : &*owned_stats_),
-        opts_(opts),
-        alphabet_(alphabet),
-        window_(opts.window),
-        paa_(opts.paa_size),
-        divisible_(opts.window % opts.paa_size == 0),
-        step_(opts.window / opts.paa_size) {
-    if (!divisible_) {
-      const double dn = static_cast<double>(window_);
-      const double w = static_cast<double>(paa_);
-      segments_.reserve(paa_);
-      for (size_t j = 0; j < paa_; ++j) {
-        Segment seg;
-        seg.lo = static_cast<double>(j) * dn / w;
-        seg.hi = static_cast<double>(j + 1) * dn / w;
-        seg.first = static_cast<size_t>(std::floor(seg.lo));
-        seg.last = static_cast<size_t>(std::floor(seg.hi));
-        segments_.push_back(seg);
-      }
-    }
+/// Weighted raw-value sum of the fractional segment `seg` of the window at
+/// `pos`, mirroring the exact-PAA overlap weights of Paa(). `*err` receives
+/// a bound on the sum's divergence from naive summation, built from the
+/// prefix endpoints and boundary samples actually used. `Source` abstracts
+/// where the samples and prefix sums live (a materialized span + RollingStats
+/// for the batch kernels, bounded rings for the online one).
+template <typename Source>
+double FractionalSegmentSum(const Source& src, size_t pos,
+                            const SaxPaaGeometry::Segment& seg, double* err) {
+  const double x_first = src.Sample(pos + seg.first);
+  // Segment contained in a single sample.
+  if (seg.last <= seg.first) {
+    *err = 4.0 * kMachEps * std::abs(x_first);
+    return (seg.hi - seg.lo) * x_first;
   }
-
-  /// Computes the SAX word of the window at `pos` into `word` (which must
-  /// have length paa_size). Falls back to the reference path internally
-  /// when a guard fires, so the result is always byte-identical to
-  /// SaxWordForWindow on the same window.
-  void WordAt(size_t pos, std::string& word) {
-    if (!FastWordAt(pos, word)) {
-      word = SaxWordForWindow(WindowAt(series_, pos, window_), opts_,
-                              alphabet_);
-    }
+  const double first_end = std::min(seg.hi, static_cast<double>(seg.first + 1));
+  double sum = (first_end - seg.lo) * x_first;
+  double bound = 4.0 * kMachEps * std::abs(x_first);
+  const size_t full_begin = seg.first + 1;
+  if (seg.last > full_begin) {
+    sum += src.Sum(pos + full_begin, seg.last - full_begin);
+    bound += src.RangeSumErrorBound(pos + full_begin, seg.last - full_begin);
   }
+  const double frac = seg.hi - static_cast<double>(seg.last);
+  if (frac > 0.0) {
+    const double x_last = src.Sample(pos + seg.last);
+    sum += frac * x_last;
+    bound += 4.0 * kMachEps * std::abs(x_last);
+  }
+  *err = bound;
+  return sum;
+}
 
-  /// The alphabet-independent half of the fast path: the z-space PAA values
-  /// of the window at `pos` and their error bounds, written to z[0..paa)
-  /// and err[0..paa). Returns false when the flat-window decision falls
-  /// inside its numerical guard (the row must use the reference path).
-  /// Const and writes only through the caller's pointers, so concurrent
-  /// calls on one instance are race-free.
-  bool ZRowAt(size_t pos, double* z, double* err) const {
-    const double n = static_cast<double>(window_);
-    const RollingStats::Moments m = stats_->MomentsOf(pos, window_);
-    const double sd = std::sqrt(m.variance);
+/// The alphabet-independent fast path, shared verbatim by the batch
+/// (IncrementalDiscretizer) and online (OnlineSaxDiscretizer) kernels so
+/// their guard decisions and emitted z values use the same arithmetic.
+/// Computes the z-space PAA values and conservative error bounds of the
+/// window at `pos` into z[0..paa) / err[0..paa). Returns false when the
+/// flat-window decision falls inside its numerical guard (the caller must
+/// use the reference path).
+template <typename Source>
+bool ZRowFromSource(const Source& src, const SaxPaaGeometry& g,
+                    double znorm_epsilon, size_t pos, double* z, double* err) {
+  const double n = static_cast<double>(g.window);
+  const double mean = src.Sum(pos, g.window) / n;
+  double variance = src.SumSq(pos, g.window) / n - mean * mean;
+  if (variance < 0.0) {  // numerical noise on near-constant ranges
+    variance = 0.0;
+  }
+  const double sd = std::sqrt(variance);
 
-    // Error bounds for the prefix-derived window statistics versus the
-    // reference's naive summation.
-    const double mean_err = stats_->RangeSumErrorBound(pos, window_) / n;
-    const double var_err = stats_->RangeSumSqErrorBound(pos, window_) / n +
-                           (2.0 * std::abs(m.mean) + mean_err) * mean_err;
-    const double sd_err =
-        m.variance > var_err ? var_err / sd : std::sqrt(var_err);
+  // Error bounds for the prefix-derived window statistics versus the
+  // reference's naive summation.
+  const double mean_err = src.RangeSumErrorBound(pos, g.window) / n;
+  const double var_err = src.RangeSumSqErrorBound(pos, g.window) / n +
+                         (2.0 * std::abs(mean) + mean_err) * mean_err;
+  const double sd_err = variance > var_err ? var_err / sd : std::sqrt(var_err);
 
-    // Guard the flat-window decision itself.
-    if (std::abs(sd - opts_.znorm_epsilon) <= sd_err) {
-      return false;
-    }
-    const bool flat = sd < opts_.znorm_epsilon;
-    const double inv = flat ? 1.0 : 1.0 / sd;
-    // Relative error of `inv`, as an absolute error per unit of |z|.
-    const double inv_rel_err = flat ? 0.0 : sd_err * inv;
+  // Guard the flat-window decision itself.
+  if (std::abs(sd - znorm_epsilon) <= sd_err) {
+    return false;
+  }
+  const bool flat = sd < znorm_epsilon;
+  const double inv = flat ? 1.0 : 1.0 / sd;
+  // Relative error of `inv`, as an absolute error per unit of |z|.
+  const double inv_rel_err = flat ? 0.0 : sd_err * inv;
 
-    for (size_t j = 0; j < paa_; ++j) {
-      double seg_mean;
-      double seg_err;
-      if (divisible_) {
-        if (step_ == 1) {
-          seg_mean = series_[pos + j];
-          seg_err = 0.0;
-        } else {
-          const size_t seg_pos = pos + j * step_;
-          seg_mean =
-              stats_->Sum(seg_pos, step_) / static_cast<double>(step_);
-          seg_err = stats_->RangeSumErrorBound(seg_pos, step_) /
-                    static_cast<double>(step_);
-        }
+  for (size_t j = 0; j < g.paa; ++j) {
+    double seg_mean;
+    double seg_err;
+    if (g.divisible) {
+      if (g.step == 1) {
+        seg_mean = src.Sample(pos + j);
+        seg_err = 0.0;
       } else {
-        const Segment& seg = segments_[j];
-        double sum_err = 0.0;
-        seg_mean =
-            FractionalSegmentSum(pos, seg, &sum_err) / (seg.hi - seg.lo);
-        seg_err = sum_err / (seg.hi - seg.lo);
+        const size_t seg_pos = pos + j * g.step;
+        seg_mean = src.Sum(seg_pos, g.step) / static_cast<double>(g.step);
+        seg_err = src.RangeSumErrorBound(seg_pos, g.step) /
+                  static_cast<double>(g.step);
       }
-      // The last term covers the reference path's own rounding: it sums up
-      // to `window` z-space values per segment, each O(|z|).
-      z[j] = (seg_mean - m.mean) * inv;
-      err[j] = (seg_err + mean_err) * inv + std::abs(z[j]) * inv_rel_err +
-               (16.0 + static_cast<double>(window_)) * kMachEps *
-                   (1.0 + std::abs(z[j]));
+    } else {
+      const SaxPaaGeometry::Segment& seg = g.segments[j];
+      double sum_err = 0.0;
+      seg_mean = FractionalSegmentSum(src, pos, seg, &sum_err) /
+                 (seg.hi - seg.lo);
+      seg_err = sum_err / (seg.hi - seg.lo);
     }
-    return true;
+    // The last term covers the reference path's own rounding: it sums up
+    // to `window` z-space values per segment, each O(|z|).
+    z[j] = (seg_mean - mean) * inv;
+    err[j] = (seg_err + mean_err) * inv + std::abs(z[j]) * inv_rel_err +
+             (16.0 + static_cast<double>(g.window)) * kMachEps *
+                 (1.0 + std::abs(z[j]));
   }
+  return true;
+}
 
- private:
-  struct Segment {
-    double lo;
-    double hi;
-    size_t first;  // floor(lo): index of the first (possibly partial) sample
-    size_t last;   // floor(hi): index one past the last full sample
-  };
+/// Source over a materialized series backed by RollingStats prefix sums.
+struct SpanSource {
+  std::span<const double> series;
+  const RollingStats* stats;
 
-  /// Weighted raw-value sum of the fractional segment `seg` of the window
-  /// at `pos`, mirroring the exact-PAA overlap weights of Paa(). `*err`
-  /// receives a bound on the sum's divergence from naive summation, built
-  /// from the prefix endpoints and boundary samples actually used.
-  double FractionalSegmentSum(size_t pos, const Segment& seg,
-                              double* err) const {
-    const double x_first = series_[pos + seg.first];
-    // Segment contained in a single sample.
-    if (seg.last <= seg.first) {
-      *err = 4.0 * kMachEps * std::abs(x_first);
-      return (seg.hi - seg.lo) * x_first;
-    }
-    const double first_end =
-        std::min(seg.hi, static_cast<double>(seg.first + 1));
-    double sum = (first_end - seg.lo) * x_first;
-    double bound = 4.0 * kMachEps * std::abs(x_first);
-    const size_t full_begin = seg.first + 1;
-    if (seg.last > full_begin) {
-      sum += stats_->Sum(pos + full_begin, seg.last - full_begin);
-      bound += stats_->RangeSumErrorBound(pos + full_begin,
-                                          seg.last - full_begin);
-    }
-    const double frac = seg.hi - static_cast<double>(seg.last);
-    if (frac > 0.0) {
-      const double x_last = series_[pos + seg.last];
-      sum += frac * x_last;
-      bound += 4.0 * kMachEps * std::abs(x_last);
-    }
-    *err = bound;
-    return sum;
+  double Sample(size_t i) const { return series[i]; }
+  double Sum(size_t pos, size_t len) const { return stats->Sum(pos, len); }
+  double SumSq(size_t pos, size_t len) const { return stats->SumSq(pos, len); }
+  double RangeSumErrorBound(size_t pos, size_t len) const {
+    return stats->RangeSumErrorBound(pos, len);
   }
-
-  /// The O(paa_size) fast path: z row + letter mapping. Returns false when
-  /// any decision falls within its numerical guard and the caller must use
-  /// the reference.
-  bool FastWordAt(size_t pos, std::string& word) const {
-    thread_local std::vector<double> z;
-    thread_local std::vector<double> err;
-    z.resize(paa_);
-    err.resize(paa_);
-    return ZRowAt(pos, z.data(), err.data()) &&
-           MapLettersFromZ(z.data(), err.data(), paa_, alphabet_, word);
+  double RangeSumSqErrorBound(size_t pos, size_t len) const {
+    return stats->RangeSumSqErrorBound(pos, len);
   }
+};
 
-  std::span<const double> series_;
-  std::optional<RollingStats> owned_stats_;
-  const RollingStats* stats_;
-  const SaxOptions& opts_;
-  const NormalAlphabet& alphabet_;
-  size_t window_;
-  size_t paa_;
-  bool divisible_;
-  size_t step_;
-  std::vector<Segment> segments_;  // only for the non-divisible case
+/// Source over the online rings: sample i of the stream lives at
+/// ring[i % window], prefix value P(i) at psum[i % (window + 1)]. Valid only
+/// for indices inside the currently retained window, which is all the
+/// geometry ever asks for. The error bounds reuse RollingStats' formula
+/// (kRangeSumErrFactor over the larger prefix endpoint) so both layers
+/// guard identically.
+struct RingSource {
+  const std::vector<double>* ring;
+  const std::vector<double>* psum;
+  const std::vector<double>* psumsq;
+  size_t window;
+
+  double Sample(size_t i) const { return (*ring)[i % window]; }
+  double PrefixAt(const std::vector<double>& p, size_t i) const {
+    return p[i % (window + 1)];
+  }
+  double Sum(size_t pos, size_t len) const {
+    return PrefixAt(*psum, pos + len) - PrefixAt(*psum, pos);
+  }
+  double SumSq(size_t pos, size_t len) const {
+    return PrefixAt(*psumsq, pos + len) - PrefixAt(*psumsq, pos);
+  }
+  double RangeSumErrorBound(size_t pos, size_t len) const {
+    const double lo = std::abs(PrefixAt(*psum, pos));
+    const double hi = std::abs(PrefixAt(*psum, pos + len));
+    return kRangeSumErrFactor * std::max({1.0, lo, hi});
+  }
+  double RangeSumSqErrorBound(size_t pos, size_t len) const {
+    const double lo = PrefixAt(*psumsq, pos);
+    const double hi = PrefixAt(*psumsq, pos + len);
+    return kRangeSumErrFactor * std::max({1.0, lo, hi});
+  }
 };
 
 /// The numerosity-reduction decision (paper Section 3.2): whether `word`
@@ -321,6 +283,125 @@ StatusOr<SaxRecords> DiscretizeImpl(std::span<const double> series,
 }
 
 }  // namespace
+
+SaxPaaGeometry::SaxPaaGeometry(const SaxOptions& opts)
+    : window(opts.window),
+      paa(opts.paa_size),
+      divisible(opts.window % opts.paa_size == 0),
+      step(opts.window / opts.paa_size) {
+  if (!divisible) {
+    const double dn = static_cast<double>(window);
+    const double w = static_cast<double>(paa);
+    segments.reserve(paa);
+    for (size_t j = 0; j < paa; ++j) {
+      Segment seg;
+      seg.lo = static_cast<double>(j) * dn / w;
+      seg.hi = static_cast<double>(j + 1) * dn / w;
+      seg.first = static_cast<size_t>(std::floor(seg.lo));
+      seg.last = static_cast<size_t>(std::floor(seg.hi));
+      segments.push_back(seg);
+    }
+  }
+}
+
+IncrementalDiscretizer::IncrementalDiscretizer(std::span<const double> series,
+                                               const SaxOptions& opts,
+                                               const NormalAlphabet& alphabet,
+                                               const RollingStats* shared_stats)
+    : series_(series),
+      owned_stats_(shared_stats == nullptr
+                       ? std::optional<RollingStats>(std::in_place, series)
+                       : std::nullopt),
+      stats_(shared_stats != nullptr ? shared_stats : &*owned_stats_),
+      opts_(opts),
+      alphabet_(alphabet),
+      geometry_(opts) {}
+
+void IncrementalDiscretizer::WordAt(size_t pos, std::string& word) {
+  if (!FastWordAt(pos, word)) {
+    word = SaxWordForWindow(WindowAt(series_, pos, geometry_.window), opts_,
+                            alphabet_);
+  }
+}
+
+bool IncrementalDiscretizer::ZRowAt(size_t pos, double* z, double* err) const {
+  const SpanSource src{series_, stats_};
+  return ZRowFromSource(src, geometry_, opts_.znorm_epsilon, pos, z, err);
+}
+
+bool IncrementalDiscretizer::FastWordAt(size_t pos, std::string& word) const {
+  thread_local std::vector<double> z;
+  thread_local std::vector<double> err;
+  z.resize(geometry_.paa);
+  err.resize(geometry_.paa);
+  return ZRowAt(pos, z.data(), err.data()) &&
+         MapLettersFromZ(z.data(), err.data(), geometry_.paa, alphabet_, word);
+}
+
+OnlineSaxDiscretizer::OnlineSaxDiscretizer(const SaxOptions& opts)
+    : opts_(opts),
+      alphabet_(opts.alphabet_size),
+      geometry_(opts),
+      // Rebasing every 8 windows keeps the prefix magnitudes — and with
+      // them the guard bounds — proportional to one window of data, at an
+      // amortized rebuild cost of 1/8 of a sample per push.
+      rebase_period_(8 * opts.window),
+      ring_(opts.window, 0.0),
+      psum_(opts.window + 1, 0.0),
+      psumsq_(opts.window + 1, 0.0),
+      scratch_(opts.window, 0.0),
+      zrow_(opts.paa_size, 0.0),
+      zerr_(opts.paa_size, 0.0) {}
+
+bool OnlineSaxDiscretizer::Push(double value, std::string& word, size_t* pos) {
+  const size_t w = opts_.window;
+  const size_t m = w + 1;
+  if (pushed_ >= w && pushed_ % rebase_period_ == 0) {
+    // Rebase: rebuild the retained prefix entries from the ring so prefix
+    // magnitudes restart from zero. Which window values the fast path sees
+    // changes only within the guard bounds, so emitted words — always
+    // byte-identical to the reference — do not depend on the rebase
+    // schedule.
+    const size_t base = pushed_ - w;
+    psum_[base % m] = 0.0;
+    psumsq_[base % m] = 0.0;
+    for (size_t i = base; i < pushed_; ++i) {
+      const double v = ring_[i % w];
+      psum_[(i + 1) % m] = psum_[i % m] + v;
+      psumsq_[(i + 1) % m] = psumsq_[i % m] + v * v;
+    }
+  }
+  const size_t t = pushed_;
+  ring_[t % w] = value;
+  psum_[(t + 1) % m] = psum_[t % m] + value;
+  psumsq_[(t + 1) % m] = psumsq_[t % m] + value * value;
+  ++pushed_;
+  if (pushed_ < w) {
+    return false;
+  }
+  const size_t at = pushed_ - w;
+  *pos = at;
+  word.resize(opts_.paa_size);
+  if (!FastWordAt(at, word)) {
+    // Materialize the window from the ring for the reference path. The w
+    // consecutive stream indices [at, at + w) occupy each ring slot
+    // exactly once.
+    for (size_t i = 0; i < w; ++i) {
+      scratch_[i] = ring_[(at + i) % w];
+    }
+    word = SaxWordForWindow(scratch_, opts_, alphabet_);
+    ++fallback_words_;
+  }
+  return true;
+}
+
+bool OnlineSaxDiscretizer::FastWordAt(size_t pos, std::string& word) {
+  const RingSource src{&ring_, &psum_, &psumsq_, opts_.window};
+  return ZRowFromSource(src, geometry_, opts_.znorm_epsilon, pos, zrow_.data(),
+                        zerr_.data()) &&
+         MapLettersFromZ(zrow_.data(), zerr_.data(), geometry_.paa, alphabet_,
+                         word);
+}
 
 StatusOr<SaxRecords> Discretize(std::span<const double> series,
                                 const SaxOptions& opts) {

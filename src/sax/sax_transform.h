@@ -2,18 +2,19 @@
 #define GVA_SAX_SAX_TRANSFORM_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "sax/alphabet.h"
+#include "timeseries/rolling_stats.h"
 #include "timeseries/znorm.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
 namespace gva {
 
-class RollingStats;
 class ThreadPool;
 
 /// How consecutive identical SAX words are collapsed (paper Section 3.2).
@@ -127,6 +128,132 @@ StatusOr<SaxZPlane> ComputeSaxZPlane(std::span<const double> series,
 StatusOr<SaxRecords> DiscretizeWithZPlane(std::span<const double> series,
                                           const SaxOptions& opts,
                                           const SaxZPlane& plane);
+
+/// Per-segment PAA geometry shared by the batch and online incremental
+/// discretizers. Depends only on (window, paa_size) and is precomputed
+/// once per discretizer.
+struct SaxPaaGeometry {
+  struct Segment {
+    double lo;
+    double hi;
+    size_t first;  // floor(lo): index of the first (possibly partial) sample
+    size_t last;   // floor(hi): index one past the last full sample
+  };
+
+  explicit SaxPaaGeometry(const SaxOptions& opts);
+
+  size_t window;
+  size_t paa;
+  bool divisible;
+  size_t step;
+  std::vector<Segment> segments;  // only for the non-divisible case
+};
+
+/// Incremental per-window discretization kernel over a fully materialized
+/// series: the series prefix sums plus the per-segment PAA geometry are
+/// built once, then each window's SAX word costs O(paa_size).
+///
+/// The kernel computes each z-space PAA value algebraically from raw-value
+/// range sums — for segment mean s, window mean mu and stddev sigma the
+/// z-normalized PAA value is (s - mu) / sigma — instead of materializing
+/// the z-normalized window and averaging it the way the reference path
+/// (SaxWordForWindow) does. The two orderings agree only up to rounding
+/// noise, so every *decision* (flat-vs-normalized window, value-vs-
+/// breakpoint) is guarded by a conservative error bound; a window whose
+/// decision falls inside the bound is recomputed through the reference
+/// path. That keeps the output byte-identical to the reference for every
+/// input while the guard virtually never fires on real data (the bound is
+/// orders of magnitude below typical breakpoint clearances).
+///
+/// Holds references to `series`, `opts`, and `alphabet`; all three must
+/// outlive the discretizer. For unbounded streams (no materialized series)
+/// use OnlineSaxDiscretizer below.
+class IncrementalDiscretizer {
+ public:
+  /// `shared_stats`, when non-null, must be a RollingStats over exactly
+  /// `series`; the discretizer then skips its own prefix-sum build. The
+  /// prefix arrays are deterministic functions of the series, so shared and
+  /// owned tables yield bit-identical words.
+  IncrementalDiscretizer(std::span<const double> series,
+                         const SaxOptions& opts,
+                         const NormalAlphabet& alphabet,
+                         const RollingStats* shared_stats = nullptr);
+
+  /// Computes the SAX word of the window at `pos` into `word` (which must
+  /// have length paa_size). Falls back to the reference path internally
+  /// when a guard fires, so the result is always byte-identical to
+  /// SaxWordForWindow on the same window.
+  void WordAt(size_t pos, std::string& word);
+
+  /// The alphabet-independent half of the fast path: the z-space PAA values
+  /// of the window at `pos` and their error bounds, written to z[0..paa)
+  /// and err[0..paa). Returns false when the flat-window decision falls
+  /// inside its numerical guard (the row must use the reference path).
+  /// Const and writes only through the caller's pointers, so concurrent
+  /// calls on one instance are race-free.
+  bool ZRowAt(size_t pos, double* z, double* err) const;
+
+ private:
+  bool FastWordAt(size_t pos, std::string& word) const;
+
+  std::span<const double> series_;
+  std::optional<RollingStats> owned_stats_;
+  const RollingStats* stats_;
+  const SaxOptions& opts_;
+  const NormalAlphabet& alphabet_;
+  SaxPaaGeometry geometry_;
+};
+
+/// Online (push-one-sample) incremental discretizer: the entry point the
+/// streaming engine ingests through. Bounded O(window) memory — a ring of
+/// the last `window` raw samples plus a ring of running prefix sums — and
+/// O(paa_size) per completed window, with the same byte-exactness contract
+/// as the batch kernel above: every emitted word is byte-identical to
+/// SaxWordForWindow over the same samples, because every numerical decision
+/// is guarded by a conservative error bound with fallback to the reference
+/// path (the window is materialized from the ring only when a guard fires).
+///
+/// The prefix rings are rebased on a deterministic sample-count schedule so
+/// their magnitude — and with it the error bound — stays proportional to
+/// one window's worth of data instead of growing with the stream; the
+/// emitted words do not depend on the rebase schedule (only which path
+/// computes them does).
+///
+/// Owns copies of its options and alphabet, so instances are freely
+/// movable and outlive any caller state.
+class OnlineSaxDiscretizer {
+ public:
+  /// `opts` must already be validated (SaxOptions::Validate).
+  explicit OnlineSaxDiscretizer(const SaxOptions& opts);
+
+  /// Feeds one sample. When this sample completes a window (i.e. at least
+  /// `window` samples have been pushed), writes that window's SAX word into
+  /// `word`, its start index into `*pos`, and returns true.
+  bool Push(double value, std::string& word, size_t* pos);
+
+  size_t samples_seen() const { return pushed_; }
+  const SaxOptions& options() const { return opts_; }
+  const NormalAlphabet& alphabet() const { return alphabet_; }
+  /// Windows that went through the reference path because a numerical
+  /// guard fired (diagnostic; each costs O(window) instead of O(paa)).
+  size_t fallback_words() const { return fallback_words_; }
+
+ private:
+  bool FastWordAt(size_t pos, std::string& word);
+
+  SaxOptions opts_;
+  NormalAlphabet alphabet_;
+  SaxPaaGeometry geometry_;
+  size_t pushed_ = 0;
+  size_t rebase_period_;
+  std::vector<double> ring_;     // last `window` raw samples
+  std::vector<double> psum_;     // prefix sums over the stream, ring of w+1
+  std::vector<double> psumsq_;   // prefix sums of squares, ring of w+1
+  std::vector<double> scratch_;  // contiguous window copy for fallbacks
+  std::vector<double> zrow_;
+  std::vector<double> zerr_;
+  size_t fallback_words_ = 0;
+};
 
 }  // namespace gva
 

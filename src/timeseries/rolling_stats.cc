@@ -8,20 +8,6 @@
 
 namespace gva {
 
-namespace {
-
-// Safety factor applied on top of the machine epsilon in the error bounds.
-// The dominant term of a prefix-difference's divergence from a naive range
-// sum is one rounding of the larger prefix value (eps * |prefix|); the
-// accumulated rounding of both summations adds a term that grows like
-// sqrt(n) in practice. 4096 covers both with two orders of magnitude to
-// spare for every series this library targets (|values| <= 1e9, n <= 1e8);
-// the cost of being generous is only an occasional fallback to the O(w)
-// reference path in the SAX kernel.
-constexpr double kErrFactor = 4096.0 * std::numeric_limits<double>::epsilon();
-
-}  // namespace
-
 RollingStats::RollingStats(std::span<const double> values)
     : n_(values.size()) {
   prefix_.resize(n_ + 1);
@@ -49,13 +35,13 @@ RollingStats::Moments RollingStats::MomentsOf(size_t pos, size_t len) const {
 double RollingStats::RangeSumErrorBound(size_t pos, size_t len) const {
   const double lo = std::abs(prefix_[pos]);
   const double hi = std::abs(prefix_[pos + len]);
-  return kErrFactor * std::max({1.0, lo, hi});
+  return kRangeSumErrFactor * std::max({1.0, lo, hi});
 }
 
 double RollingStats::RangeSumSqErrorBound(size_t pos, size_t len) const {
   const double lo = prefix_sq_[pos];
   const double hi = prefix_sq_[pos + len];
-  return kErrFactor * std::max({1.0, lo, hi});
+  return kRangeSumErrFactor * std::max({1.0, lo, hi});
 }
 
 }  // namespace gva

@@ -2,10 +2,24 @@
 #define GVA_TIMESERIES_ROLLING_STATS_H_
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
 namespace gva {
+
+/// Safety factor applied on top of the machine epsilon in prefix-sum range
+/// error bounds. The dominant term of a prefix-difference's divergence from
+/// a naive range sum is one rounding of the larger prefix value
+/// (eps * |prefix|); the accumulated rounding of both summations adds a
+/// term that grows like sqrt(n) in practice. 4096 covers both with two
+/// orders of magnitude to spare for every series this library targets
+/// (|values| <= 1e9, n <= 1e8); the cost of being generous is only an
+/// occasional fallback to the O(w) reference path in the SAX kernel.
+/// Shared by RollingStats and the online prefix rings in
+/// `sax/sax_transform.h` so both layers guard with identical bounds.
+inline constexpr double kRangeSumErrFactor =
+    4096.0 * std::numeric_limits<double>::epsilon();
 
 /// Prefix-sum accelerator for per-window statistics over one series: after
 /// an O(n) build, the sum, sum of squares, mean, and (population) variance

@@ -1,5 +1,7 @@
 #include "core/rule_density_detector.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "core/evaluate.h"
@@ -128,6 +130,39 @@ TEST(DensityDetectorTest, PropagatesInvalidOptions) {
   SaxOptions bad;
   bad.window = 0;
   EXPECT_FALSE(DetectDensityAnomalies(v, bad, {}).ok());
+}
+
+TEST(DensityAnomalyOptionsTest, ValidateChecksRanges) {
+  DensityAnomalyOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.threshold_fraction = -0.1;
+  EXPECT_FALSE(o.Validate().ok());
+  o.threshold_fraction = 1.0001;
+  EXPECT_FALSE(o.Validate().ok());
+  o.threshold_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(o.Validate().ok());
+  o.threshold_fraction = 1.0;
+  EXPECT_TRUE(o.Validate().ok());
+  o.min_length = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.min_length = 3;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+// Regression: the batch detector used to silently accept out-of-range
+// density options and produce nonsense reports.
+TEST(DensityDetectorTest, RejectsInvalidDensityOptions) {
+  LabeledSeries data = MakeSineWithAnomaly(600, 40.0, 0.05, 300, 50, 9);
+  SaxOptions sax;
+  sax.window = 60;
+  sax.paa_size = 4;
+  sax.alphabet_size = 4;
+  DensityAnomalyOptions bad;
+  bad.threshold_fraction = -3.0;
+  EXPECT_FALSE(DetectDensityAnomalies(data.series, sax, bad).ok());
+  bad.threshold_fraction = 0.05;
+  bad.min_length = 0;
+  EXPECT_FALSE(DetectDensityAnomalies(data.series, sax, bad).ok());
 }
 
 TEST(DensityDetectorTest, DensityCurveLengthMatchesSeries) {

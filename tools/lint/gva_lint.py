@@ -9,7 +9,8 @@ those conventions machine-checked. Run as:
 
     python3 tools/lint/gva_lint.py [--root REPO_ROOT] [paths...]
 
-With no paths it checks the default surface (src/). Exit code 0 means no
+With no paths it checks the default surface (src/ and examples/). Exit
+code 0 means no
 findings; 1 means findings were printed, one per line, in
 `path:line: [rule] message` form.
 
@@ -19,16 +20,29 @@ Every suppression is a documented exception — the comment survives review.
 Rules
 -----
 determinism-rng      rand()/std::rand/srand/time(nullptr)/system_clock/
-                     random_device in deterministic subsystems
+                     steady_clock/high_resolution_clock/random_device in
+                     deterministic subsystems
                      (src/{core,discord,grammar,sax,ensemble,timeseries}).
                      Scores must be replayable; wall clocks and global RNG
-                     state are not. Use util/rng.h (seeded) instead.
+                     state are not — a clock read that feeds an eviction or
+                     report decision makes streaming replay diverge. Use
+                     util/rng.h (seeded), count samples instead of seconds,
+                     or suppress with a comment proving the value only
+                     feeds observability (timings exported via obs).
 unordered-iteration  range-for over a std::unordered_{map,set} in the same
                      deterministic subsystems. Iteration order is
                      implementation-defined; anything it feeds (sums, best-
                      candidate reductions, output ordering) silently loses
                      the bit-identical-results contract. Iterate a sorted
                      copy or an index vector instead.
+status-swallow       an `if (!x.ok())` branch (src/ and examples/) whose
+                     body discards the error — bare continue/break/return —
+                     without examining it (.code()/.status()/print/record).
+                     Swallowing a Status turns real failures into silent
+                     no-ops; the streaming example once treated every
+                     Report() error as "not enough data yet" this way.
+                     Branch on status().code() for the benign case and
+                     fail loudly otherwise.
 span-naming          GVA_OBS_SPAN names must be dotted lowercase
                      "subsystem.verb" (e.g. "grammar.sequitur.induce") so
                      trace files and stage metrics aggregate predictably.
@@ -120,6 +134,14 @@ RNG_PATTERNS = [
     (re.compile(r"(?<![\w.:])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
      "time(nullptr)"),
     (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+    # Monotonic clocks are fine for *observability* (suppress with a comment
+    # saying so) but not for logic: anything time-driven — eviction, report
+    # cadence, retry — replays differently, and the streaming engine's
+    # contract is that replaying a stream reproduces the batch result
+    # bit-for-bit. Count samples, not seconds.
+    (re.compile(r"std::chrono::steady_clock"), "std::chrono::steady_clock"),
+    (re.compile(r"std::chrono::high_resolution_clock"),
+     "std::chrono::high_resolution_clock"),
     (re.compile(r"(?<![\w.:])(?:std::)?random_device"), "std::random_device"),
 ]
 
@@ -180,6 +202,63 @@ def check_unordered_iteration(path: str, rel: str,
                     "the bit-identical-results contract — iterate a sorted "
                     "copy, or suppress with a comment proving order cannot "
                     "reach a score/reduction/output"))
+    return findings
+
+
+# --- rule: status-swallow -----------------------------------------------------
+
+STATUS_IF_RE = re.compile(r"if\s*\(\s*!\s*[\w.>-]+?(?:\.|->)ok\s*\(\s*\)\s*\)")
+DISCARD_STMT_RE = re.compile(
+    r"^\s*(?:continue|break|return(?:\s+(?:0|false|true|nullptr|\{\s*\}))?)"
+    r"\s*;", re.MULTILINE)
+# Any of these in the branch body means the error was examined, printed,
+# recorded, or propagated rather than dropped. (A `return <expr>;` that
+# isn't in the trivial-discard set above never fires the rule at all, so
+# propagating returns need no entry here.)
+EXAMINED_RE = re.compile(
+    r"code\s*\(|status\s*\(|ToString|printf|fprintf|cerr|cout|abort|throw|"
+    r"[Ll]og|[Ee]rror")
+
+
+def check_status_swallow(path: str, rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith(("src/", "examples/")):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        code = strip_strings_and_comments(raw)
+        m = STATUS_IF_RE.search(code)
+        if not m:
+            continue
+        # Collect the branch body: the remainder of this line, plus following
+        # lines until the opening brace balances (braceless ifs take the next
+        # line). Good enough for the formatted code this repo contains.
+        body_lines = [code[m.end():]]
+        depth = body_lines[0].count("{") - body_lines[0].count("}")
+        end = i  # 0-based index just past the last body line consumed
+        if "{" not in body_lines[0]:
+            if not body_lines[0].strip() and end < len(lines):
+                body_lines.append(strip_strings_and_comments(lines[end]))
+                end += 1
+        else:
+            while depth > 0 and end < len(lines):
+                nxt = strip_strings_and_comments(lines[end])
+                end += 1
+                body_lines.append(nxt)
+                depth += nxt.count("{") - nxt.count("}")
+        if any("status-swallow" in allowed_rules(lines[k])
+               for k in range(i - 1, min(end, len(lines)))):
+            continue
+        body = "\n".join(body_lines)
+        if EXAMINED_RE.search(body):
+            continue
+        if DISCARD_STMT_RE.search(body):
+            findings.append(Finding(
+                rel, i, "status-swallow",
+                "error Status discarded without being examined: branch on "
+                "status().code() for the benign case (e.g. "
+                "kFailedPrecondition = not enough data yet) and print/"
+                "propagate everything else — or suppress with a comment "
+                "saying why every failure here is ignorable"))
     return findings
 
 
@@ -289,6 +368,7 @@ def check_include_bits(path: str, rel: str, lines: list[str]) -> list[Finding]:
 ALL_RULES = {
     "determinism-rng": check_determinism_rng,
     "unordered-iteration": check_unordered_iteration,
+    "status-swallow": check_status_swallow,
     "span-naming": check_span_naming,
     "check-in-header": check_check_in_header,
     "include-self-first": check_include_self_first,
@@ -333,12 +413,13 @@ def main(argv: list[str]) -> int:
                         help="repo root findings are reported relative to "
                              "(default: this script's ../../)")
     parser.add_argument("paths", nargs="*", default=None,
-                        help="files or directories to lint (default: src)")
+                        help="files or directories to lint "
+                             "(default: src examples)")
     args = parser.parse_args(argv)
 
     root = args.root or os.path.normpath(
         os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
-    paths = args.paths or ["src"]
+    paths = args.paths or ["src", "examples"]
 
     findings: list[Finding] = []
     files = collect_files(root, paths)

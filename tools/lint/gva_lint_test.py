@@ -52,6 +52,40 @@ class DeterminismRngRule(unittest.TestCase):
             [])
 
 
+class DeterminismClockRule(unittest.TestCase):
+    """Monotonic clocks in streaming/scoring paths: time-driven decisions
+    (report cadence, eviction) make stream replay diverge from batch."""
+
+    def test_monotonic_clocks_fire(self) -> None:
+        findings = findings_for("src/core/bad_stream_clock.cc")
+        self.assertEqual(rules_of(findings), ["determinism-rng"] * 2)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn("std::chrono::steady_clock", messages)
+        self.assertIn("std::chrono::high_resolution_clock", messages)
+
+    def test_observability_waiver_and_prose_do_not_fire(self) -> None:
+        findings = findings_for("src/core/bad_stream_clock.cc")
+        flagged_lines = {f.line for f in findings}
+        lines = open(os.path.join(TESTDATA, "src/core/bad_stream_clock.cc"),
+                     encoding="utf-8").read().splitlines()
+        for i, line in enumerate(lines, 1):
+            if "allow(determinism-rng)" in line or "ProseIsFine" in line:
+                self.assertNotIn(i, flagged_lines)
+
+    def test_streaming_sources_stay_clean(self) -> None:
+        # The real streaming engine must never need a clock waiver: its
+        # cadence and eviction are sample-counted, not time-driven.
+        root = os.path.normpath(os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+        for rel in ("src/core/streaming.cc", "src/core/streaming.h",
+                    "src/sax/sax_transform.cc", "src/sax/sax_transform.h"):
+            full = os.path.join(root, rel)
+            lines = open(full, encoding="utf-8").read().splitlines()
+            self.assertEqual(
+                gva_lint.check_determinism_rng(full, rel, lines), [],
+                f"{rel} must not read wall clocks")
+
+
 class UnorderedIterationRule(unittest.TestCase):
     def test_local_param_and_member_all_fire(self) -> None:
         findings = findings_for("src/core/bad_unordered.cc")
@@ -63,6 +97,47 @@ class UnorderedIterationRule(unittest.TestCase):
                      encoding="utf-8").read().splitlines()
         for f in findings:
             self.assertNotIn("allow(unordered-iteration)", lines[f.line - 1])
+
+
+class StatusSwallowRule(unittest.TestCase):
+    """Discarding an error Status without examining it: the streaming
+    example's pre-fix `if (!report.ok()) continue;` bug class."""
+
+    def test_bare_discards_fire(self) -> None:
+        findings = findings_for("src/core/bad_swallow.cc")
+        self.assertEqual(rules_of(findings), ["status-swallow"] * 2)
+
+    def test_examined_propagated_and_suppressed_do_not_fire(self) -> None:
+        findings = findings_for("src/core/bad_swallow.cc")
+        flagged_lines = {f.line for f in findings}
+        lines = open(os.path.join(TESTDATA, "src/core/bad_swallow.cc"),
+                     encoding="utf-8").read().splitlines()
+        for i, line in enumerate(lines, 1):
+            if ("IsFine" in line or "status().code()" in line
+                    or "allow(status-swallow)" in line):
+                self.assertNotIn(i, flagged_lines)
+
+    def test_the_fixed_example_stays_clean(self) -> None:
+        # The regression pin for the examples/streaming_monitor.cpp bugfix:
+        # the pre-fix source (blanket `if (!report.ok()) continue;`) is
+        # exactly what this rule flags, so reintroducing it fails
+        # lint.gva_lint (the examples/ tree is on the default surface).
+        root = os.path.normpath(os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+        rel = "examples/streaming_monitor.cpp"
+        full = os.path.join(root, rel)
+        lines = open(full, encoding="utf-8").read().splitlines()
+        self.assertEqual(gva_lint.check_status_swallow(full, rel, lines), [])
+        pre_fix = [
+            "    auto report = monitor->Report();",
+            "    if (!report.ok()) {",
+            "      continue;  // not enough data yet",
+            "    }",
+        ]
+        self.assertEqual(
+            [f.rule for f in gva_lint.check_status_swallow(
+                full, rel, pre_fix)],
+            ["status-swallow"])
 
 
 class SpanNamingRule(unittest.TestCase):
@@ -127,8 +202,9 @@ class DriverBehaviour(unittest.TestCase):
         for f in total:
             by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
         self.assertEqual(by_rule, {
-            "determinism-rng": 5,
+            "determinism-rng": 7,
             "unordered-iteration": 3,
+            "status-swallow": 2,
             "span-naming": 3,
             "check-in-header": 3,
             "include-self-first": 1,

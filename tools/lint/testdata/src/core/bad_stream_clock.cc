@@ -1,0 +1,34 @@
+// Fixture: monotonic-clock reads in a deterministic subsystem (fake
+// src/core streaming path) must be flagged — time-driven eviction or report
+// cadence makes stream replay diverge from the batch result. Expected
+// findings: 2.
+#include <chrono>
+
+namespace gva {
+
+bool ShouldReportByWallClock(long last_ns) {
+  // finding: steady_clock — report cadence must count samples, not seconds.
+  return std::chrono::steady_clock::now().time_since_epoch().count() -
+             last_ns >
+         5000000000L;
+}
+
+long TimestampForEviction() {
+  // finding: high_resolution_clock
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+long SuppressedObservabilityTiming() {
+  // A documented observability-only exception must not be flagged.
+  return std::chrono::steady_clock::now()  // gva-lint: allow(determinism-rng)
+      .time_since_epoch()
+      .count();
+}
+
+void ProseIsFine() {
+  // Mentioning std::chrono::steady_clock in a comment is not a finding.
+  const char* label = "std::chrono::steady_clock";
+  (void)label;
+}
+
+}  // namespace gva

@@ -1,0 +1,62 @@
+// Fixture: error-Status values discarded without examination must be
+// flagged — the streaming example once swallowed every Report() failure as
+// "not enough data yet". Expected findings: 2.
+
+namespace gva {
+
+struct FakeStatus {
+  bool ok() const { return false; }
+  int code() const { return 9; }
+};
+
+struct FakeResult {
+  FakeStatus status() const { return {}; }
+  bool ok() const { return false; }
+};
+
+int SwallowsInLoop(const FakeResult& report) {
+  for (int i = 0; i < 3; ++i) {
+    if (!report.ok()) {  // finding: error dropped with bare continue
+      continue;
+    }
+  }
+  return 0;
+}
+
+int SwallowsWithReturn(const FakeResult& report) {
+  if (!report.ok()) {  // finding: error dropped with bare return 0
+    return 0;
+  }
+  return 1;
+}
+
+int ExaminedIsFine(const FakeResult& report) {
+  for (int i = 0; i < 3; ++i) {
+    if (!report.ok()) {
+      if (report.status().code() == 9) {  // benign case identified
+        continue;
+      }
+      return 1;  // everything else fails loudly
+    }
+  }
+  return 0;
+}
+
+int PropagatedIsFine(const FakeResult& report) {
+  if (!report.ok()) {
+    return report.status().code();
+  }
+  return 0;
+}
+
+int SuppressedIsFine(const FakeResult& report) {
+  for (int i = 0; i < 3; ++i) {
+    if (!report.ok()) {
+      // Documented: this probe is best-effort; all failures are ignorable.
+      continue;  // gva-lint: allow(status-swallow)
+    }
+  }
+  return 0;
+}
+
+}  // namespace gva
