@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "backend/backend.h"
 #include "obs/session.h"
 #include "viz/svg.h"
 
@@ -54,18 +55,22 @@ inline void MaybeWriteFigure(const SvgFigure& figure,
   }
 }
 
-/// The observability flags every bench binary understands:
+/// The flags every bench binary understands:
 ///   --trace=PATH     write a Chrome trace-event JSON capture
 ///   --metrics=PATH   write a metrics-registry JSON snapshot
 ///   --quiet          suppress informational chatter (announcements)
+///   --backend=NAME   force the kernel backend (scalar|avx2|neon|auto);
+///                    applied immediately, exits 2 on unknown/unavailable
+///                    names so a bench never silently measures the wrong
+///                    kernel
 struct ObsFlags {
   std::string trace_path;
   std::string metrics_path;
   bool quiet = false;
 };
 
-/// Consumes one argv entry if it is an observability flag; returns whether
-/// it was consumed. Binaries call this first in their argv loop so the obs
+/// Consumes one argv entry if it is a shared flag; returns whether it was
+/// consumed. Binaries call this first in their argv loop so the shared
 /// flags compose with their own options.
 inline bool ParseObsFlag(const std::string& arg, ObsFlags* flags) {
   if (arg.rfind("--trace=", 0) == 0) {
@@ -78,6 +83,14 @@ inline bool ParseObsFlag(const std::string& arg, ObsFlags* flags) {
   }
   if (arg == "--quiet") {
     flags->quiet = true;
+    return true;
+  }
+  if (arg.rfind("--backend=", 0) == 0) {
+    const Status status = backend::SetActiveBackend(arg.substr(10));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(2);
+    }
     return true;
   }
   return false;
@@ -96,7 +109,11 @@ inline std::unique_ptr<obs::ObsSession> MakeObsSession(
   options.trace_path = flags.trace_path;
   options.metrics_path = flags.metrics_path;
   options.announce = !flags.quiet;
-  return std::make_unique<obs::ObsSession>(options);
+  auto session = std::make_unique<obs::ObsSession>(options);
+  // The session constructor reset every gauge; restore the selection
+  // record so the metrics export names the backend that ran.
+  backend::AnnounceActiveBackend();
+  return session;
 }
 
 }  // namespace gva::bench

@@ -1,13 +1,18 @@
 // Hot-path kernel benchmark: incremental prefix-sum SAX discretization and
 // the blocked-abandon distance kernel, each measured against an inline
 // reimplementation of the pre-overhaul kernel (naive per-window
-// z-normalize + PAA; scalar per-element-abandon distance loop). Exactness
-// is CHECKed on every configuration — byte-identical SAX records, matching
-// distances and abandon decisions — and the timings are emitted as
-// machine-readable JSON (default BENCH_kernels.json) so later PRs have a
-// perf trajectory to compare against.
+// z-normalize + PAA; scalar per-element-abandon distance loop), plus a
+// per-backend matrix — one row per available kernel backend (scalar /
+// AVX2 / NEON, see src/backend/) per case, with the scalar backend as the
+// baseline column. Exactness is CHECKed on every configuration before any
+// timing — byte-identical SAX records, matching distances and abandon
+// decisions, and cross-backend agreement (bitwise where the backend
+// advertises bit_exact_distance, within rounding tolerance otherwise) —
+// and the timings are emitted as machine-readable JSON (default
+// BENCH_kernels.json) so later PRs have a perf trajectory to compare
+// against.
 //
-//   kernel_bench [--smoke] [--out PATH]
+//   kernel_bench [--smoke] [--out PATH] [--backend=NAME]
 //
 // --smoke runs a seconds-scale configuration and skips the JSON (unless
 // --out is given): it is wired into ctest under the `perf-smoke` label to
@@ -21,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.h"
 #include "bench_util.h"
 #include "datasets/ecg.h"
 #include "datasets/simple.h"
@@ -172,6 +178,16 @@ std::string JsonRow(const KernelRow& row) {
 // ---------------------------------------------------------------------------
 // Benchmark stages.
 
+const KernelRow* FindRow(const std::vector<KernelRow>& rows,
+                         const std::string& name) {
+  for (const KernelRow& row : rows) {
+    if (row.name == name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
 KernelRow BenchDiscretize(const std::string& name,
                           std::span<const double> series,
                           const SaxOptions& opts, int reps) {
@@ -208,7 +224,12 @@ KernelRow BenchDiscretize(const std::string& name,
 KernelRow BenchDistance(const std::string& name,
                         std::span<const double> series, size_t length,
                         size_t calls, bool abandoning, int reps) {
-  SubsequenceDistance dist(series);
+  // Pinned to the scalar backend: this row tracks "blocked kernel vs
+  // pre-overhaul per-element kernel" across PRs, so its arithmetic (and
+  // the bitwise abandon-decision CHECK below) must not drift with the
+  // host's SIMD. The per-backend matrix rows measure dispatch.
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   ScalarReferenceDistance ref(series);
 
   // Pair list shared by both kernels; limits chosen from the true distance
@@ -270,6 +291,163 @@ KernelRow BenchDistance(const std::string& name,
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// Per-backend matrix (src/backend/ dispatch layer).
+
+/// One row per available backend for a distance case. The scalar backend
+/// is the baseline column of every row, so a row's speedup reads "this
+/// backend vs scalar on identical work". Before any timing, every backend
+/// is CHECKed against scalar over the full pair list: identical abandon
+/// decisions, and completed distances bitwise equal when the backend
+/// advertises bit_exact_distance, else within 1e-9 relative tolerance
+/// (the documented SIMD summation-order exception, DESIGN.md §11).
+void BenchDistanceBackends(const std::string& name,
+                           std::span<const double> series, size_t length,
+                           size_t calls, bool abandoning, int reps,
+                           std::vector<KernelRow>* rows) {
+  const std::vector<const backend::KernelBackend*> backends =
+      backend::AvailableBackends();
+  SubsequenceDistance scalar_dist(series, kDefaultZNormEpsilon,
+                                  backend::ScalarBackend());
+
+  // Abandon limits are sampled away from a narrow band around the true
+  // distance: a limit within rounding noise of the distance would make the
+  // abandon decision legitimately backend-dependent, which is exactly the
+  // boundary the equality CHECK must not sit on.
+  Rng rng(777);
+  std::vector<size_t> ps(calls);
+  std::vector<size_t> qs(calls);
+  std::vector<double> limits(calls, SubsequenceDistance::kInfinity);
+  for (size_t i = 0; i < calls; ++i) {
+    ps[i] = rng.UniformInt(series.size() - length + 1);
+    qs[i] = rng.UniformInt(series.size() - length + 1);
+    if (abandoning) {
+      const double truth = scalar_dist.Distance(ps[i], qs[i], length);
+      double factor = 0.5 + 1.0 * rng.UniformDouble();
+      if (factor > 0.999 && factor < 1.001) {
+        factor = 1.01;
+      }
+      limits[i] = truth * factor;
+    }
+  }
+
+  for (const backend::KernelBackend* b : backends) {
+    if (b == backend::ScalarBackend()) {
+      continue;
+    }
+    SubsequenceDistance dist(series, kDefaultZNormEpsilon, b);
+    bool agree = true;
+    for (size_t i = 0; i < calls; ++i) {
+      const double got = dist.Distance(ps[i], qs[i], length, limits[i]);
+      const double want = scalar_dist.Distance(ps[i], qs[i], length, limits[i]);
+      if (got == SubsequenceDistance::kInfinity ||
+          want == SubsequenceDistance::kInfinity) {
+        agree = agree && (got == want);
+      } else if (b->bit_exact_distance) {
+        agree = agree && (got == want);
+      } else {
+        agree = agree && std::abs(got - want) <= 1e-9 * std::max(1.0, want);
+      }
+    }
+    bench::Check(agree, "distance/" + name + "[" + b->name +
+                            "]: matches scalar backend (" +
+                            std::string(abandoning ? "abandoning" : "full") +
+                            ")");
+  }
+
+  const std::string detail =
+      StrFormat("len=%zu calls=%zu %s", length, calls,
+                abandoning ? "abandoning" : "full");
+  const double units =
+      static_cast<double>(calls) * static_cast<double>(length);
+  double sink = 0.0;
+  const auto time_backend = [&](const backend::KernelBackend* b) {
+    SubsequenceDistance dist(series, kDefaultZNormEpsilon, b);
+    return BestOf(reps, [&] {
+      for (size_t i = 0; i < calls; ++i) {
+        const double d = dist.Distance(ps[i], qs[i], length, limits[i]);
+        if (d != SubsequenceDistance::kInfinity) {
+          sink += d;
+        }
+      }
+    });
+  };
+  const double scalar_s = time_backend(backend::ScalarBackend());
+  for (const backend::KernelBackend* b : backends) {
+    KernelRow row;
+    row.name = "distance/" + name + "[" + b->name + "]";
+    row.detail = detail;
+    row.units = units;
+    row.baseline_s = scalar_s;
+    row.kernel_s =
+        b == backend::ScalarBackend() ? scalar_s : time_backend(b);
+    rows->push_back(row);
+  }
+  if (sink == 1e300) {  // never true; defeats dead-code elimination
+    std::abort();
+  }
+}
+
+/// One row per available backend for a discretize case. Dispatch reaches
+/// discretization only through the bit-exact PaaSegmentSums kernel, so the
+/// CHECK here is byte-identical records for every backend, no tolerance.
+void BenchDiscretizeBackends(const std::string& name,
+                             std::span<const double> series,
+                             const SaxOptions& opts, int reps,
+                             std::vector<KernelRow>* rows) {
+  const std::vector<const backend::KernelBackend*> backends =
+      backend::AvailableBackends();
+  const auto run_with = [&](const backend::KernelBackend* b) {
+    const Status status = backend::SetActiveBackend(b->name);
+    if (!status.ok()) {
+      std::abort();
+    }
+    return Discretize(series, opts);
+  };
+
+  const auto reference = run_with(backend::ScalarBackend());
+  bench::Check(reference.ok(),
+               "discretize/" + name + "[scalar]: Discretize succeeds");
+  const double scalar_s = BestOf(reps, [&] {
+    const auto r = Discretize(series, opts);
+    if (!r.ok() || r->words.empty()) {
+      std::abort();
+    }
+  });
+
+  for (const backend::KernelBackend* b : backends) {
+    const auto records = run_with(b);  // leaves b active for the timing
+    if (b != backend::ScalarBackend() && reference.ok() && records.ok()) {
+      bench::Check(records->words == reference->words &&
+                       records->offsets == reference->offsets,
+                   "discretize/" + name + "[" + b->name +
+                       "]: records byte-identical to scalar backend");
+    }
+    KernelRow row;
+    row.name = "discretize/" + name + "[" + b->name + "]";
+    row.detail = StrFormat("n=%zu w=%zu paa=%zu a=%zu", series.size(),
+                           opts.window, opts.paa_size, opts.alphabet_size);
+    row.units = static_cast<double>(series.size());
+    row.baseline_s = scalar_s;
+    if (b == backend::ScalarBackend()) {
+      row.kernel_s = scalar_s;
+    } else {
+      row.kernel_s = BestOf(reps, [&] {
+        const auto r = Discretize(series, opts);
+        if (!r.ok() || r->words.empty()) {
+          std::abort();
+        }
+      });
+    }
+    rows->push_back(row);
+  }
+  // Re-pin scalar so the legacy rows after this call keep their historical
+  // arithmetic.
+  if (!backend::SetActiveBackend("scalar").ok()) {
+    std::abort();
+  }
+}
+
 /// Measures the marginal cost of the per-distance-call metrics
 /// instrumentation at realistic call granularity: the same distance-call
 /// loop once feeding the disabled (no-op) counter primitive and once the
@@ -328,6 +506,23 @@ KernelRow BenchObsOverhead(std::span<const double> series, size_t length,
 int Run(bool smoke, const std::string& out_path) {
   bench::Header(smoke ? "Kernel bench (smoke)" : "Kernel bench");
 
+  std::string backend_names;
+  for (const backend::KernelBackend* b : backend::AvailableBackends()) {
+    if (!backend_names.empty()) {
+      backend_names += ", ";
+    }
+    backend_names += b->name;
+  }
+  std::printf("available backends: %s\n", backend_names.c_str());
+
+  // The legacy rows (no [backend] suffix) track "current kernel vs
+  // pre-overhaul naive reimplementation" under the scalar backend, so
+  // their numbers and bitwise CHECKs stay comparable across PRs and
+  // hosts. The matrix rows switch backends explicitly.
+  if (!backend::SetActiveBackend("scalar").ok()) {
+    std::abort();
+  }
+
   std::vector<KernelRow> rows;
   if (smoke) {
     const std::vector<double> sine = MakeSine(3000, 50.0, 0.05, 3);
@@ -342,6 +537,13 @@ int Run(bool smoke, const std::string& out_path) {
     rows.push_back(BenchDiscretize("sine_3k_ragged", sine, ragged, 1));
     rows.push_back(BenchDistance("sine_3k", sine, 64, 2000, false, 1));
     rows.push_back(BenchDistance("sine_3k", sine, 64, 2000, true, 1));
+
+    // Backend matrix on the smoke cases: cheap, and it keeps the
+    // cross-backend equality CHECKs inside the default ctest run on every
+    // host (including non-x86 ones, where only scalar/neon exist).
+    BenchDistanceBackends("sine_3k", sine, 64, 2000, false, 1, &rows);
+    BenchDistanceBackends("sine_3k", sine, 64, 2000, true, 1, &rows);
+    BenchDiscretizeBackends("sine_3k", sine, opts, 1, &rows);
 
     // The observability acceptance gate: per-call metrics must cost < 5%
     // on top of a realistic distance-call loop. Interleaved best-of-9 on a
@@ -390,6 +592,14 @@ int Run(bool smoke, const std::string& out_path) {
     rows.push_back(BenchDistance("sine_100k", sine, 180, 20000, true, 3));
     rows.push_back(BenchDistance("sine_100k_long", sine, 1024, 5000, false, 3));
     rows.push_back(BenchDistance("ecg", ecg.series, 120, 20000, false, 3));
+
+    BenchDistanceBackends("sine_100k", sine, 180, 20000, false, 3, &rows);
+    BenchDistanceBackends("sine_100k", sine, 180, 20000, true, 3, &rows);
+    BenchDistanceBackends("sine_100k_long", sine, 1024, 5000, false, 3, &rows);
+    BenchDistanceBackends("ecg", ecg.series, 120, 20000, false, 3, &rows);
+    BenchDiscretizeBackends("sine_100k", sine, opts, 3, &rows);
+    BenchDiscretizeBackends("ecg", ecg.series, ecg_sax, 3, &rows);
+
     rows.push_back(BenchObsOverhead(sine, 180, 50000, 5));
   }
 
@@ -404,6 +614,33 @@ int Run(bool smoke, const std::string& out_path) {
     bench::Check(rows[0].Speedup() >= 3.0,
                  StrFormat("discretize/sine_100k speedup %.2fx >= 3x",
                            rows[0].Speedup()));
+
+    // The dispatch-layer acceptance gate: on an AVX2 host the AVX2 backend
+    // must be >= 1.5x the scalar backend on the long-window distance case
+    // (the configuration bounded by the scalar fold's FP-add latency
+    // chain). Wall-clock ratios are meaningless under sanitizer
+    // instrumentation, so the gate is waived there; the cross-backend
+    // equality CHECKs above still ran.
+    if (backend::Avx2Backend() != nullptr) {
+      const KernelRow* scalar_row =
+          FindRow(rows, "distance/sine_100k_long[scalar]");
+      const KernelRow* avx2_row =
+          FindRow(rows, "distance/sine_100k_long[avx2]");
+#ifdef GVA_SANITIZED
+      bench::Check(true,
+                   "avx2-vs-scalar gate waived under sanitizer "
+                   "instrumentation");
+#else
+      const double ratio =
+          (scalar_row != nullptr && avx2_row != nullptr)
+              ? scalar_row->kernel_s / avx2_row->kernel_s
+              : 0.0;
+      bench::Check(ratio >= 1.5,
+                   StrFormat("distance/sine_100k_long avx2 backend %.2fx >= "
+                             "1.5x scalar backend",
+                             ratio));
+#endif
+    }
   }
 
   if (!out_path.empty()) {
@@ -416,12 +653,24 @@ int Run(bool smoke, const std::string& out_path) {
     json += StrFormat("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     json += StrFormat("  \"block_size\": %zu,\n",
                       SubsequenceDistance::kBlock);
+    json += "  \"backends\": [";
+    {
+      bool first = true;
+      for (const backend::KernelBackend* b : backend::AvailableBackends()) {
+        json += StrFormat("%s\"%s\"", first ? "" : ", ", b->name);
+        first = false;
+      }
+    }
+    json += "],\n";
     json +=
-        "  \"note\": \"baseline = pre-overhaul kernels (naive per-window "
-        "z-norm+PAA discretization; scalar per-element-abandon distance), "
-        "reimplemented in-binary; kernel = incremental prefix-sum "
-        "discretization / blocked-abandon distance. items = series points "
-        "(discretize) or accumulated elements (distance).\",\n";
+        "  \"note\": \"rows without a [backend] suffix: baseline = "
+        "pre-overhaul kernels (naive per-window z-norm+PAA discretization; "
+        "scalar per-element-abandon distance), reimplemented in-binary; "
+        "kernel = incremental prefix-sum discretization / blocked-abandon "
+        "distance under the scalar backend. rows with a [backend] suffix: "
+        "baseline = the scalar backend, kernel = that backend, on identical "
+        "work (the dispatch matrix, DESIGN.md \\u00a711). items = series "
+        "points (discretize) or accumulated elements (distance).\",\n";
     json += "  \"rows\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
       json += JsonRow(rows[i]);
@@ -455,7 +704,7 @@ int main(int argc, char** argv) {
     } else {
       std::printf(
           "usage: kernel_bench [--smoke] [--out PATH] [--trace=PATH] "
-          "[--metrics=PATH] [--quiet]\n");
+          "[--metrics=PATH] [--backend=NAME] [--quiet]\n");
       return 2;
     }
   }

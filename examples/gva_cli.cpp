@@ -49,6 +49,12 @@
 //                   the per-stage timing summary
 //   --quiet         suppress informational chatter (loaded/suggested/wrote
 //                   lines and the metrics summary); result tables only
+//
+// Kernel dispatch (see DESIGN.md §11):
+//   --backend NAME  force the kernel backend (scalar|avx2|neon|auto);
+//                   default is the GVA_BACKEND environment variable, then
+//                   auto-selection (fastest available). Search results are
+//                   backend-independent up to floating-point rounding.
 
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +63,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.h"
 #include "core/parameter_profile.h"
 #include "core/rra.h"
 #include "core/rule_density_detector.h"
@@ -102,6 +109,7 @@ int Usage() {
                "--threshold F --approx --threads N --csv-out PATH "
                "--ensemble --grid SPEC --no-share "
                "--horizon N --report-every N "
+               "--backend scalar|avx2|neon|auto "
                "--trace PATH --metrics PATH --quiet]\n");
   return 2;
 }
@@ -519,6 +527,19 @@ int main(int argc, char** argv) {
   }
   const bool quiet = args.has_flag("quiet");
 
+  // Backend selection happens before any oracle is constructed; the flag
+  // wins over the GVA_BACKEND environment variable.
+  if (args.has_flag("backend")) {
+    const Status status = backend::SetActiveBackend(args.options.at("backend"));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+  if (!quiet) {
+    std::printf("backend: %s\n", backend::ActiveBackend().name);
+  }
+
   // The capture session spans input loading too, so I/O shows in the trace.
   std::optional<obs::ObsSession> session;
   if (args.has_flag("trace") || args.has_flag("metrics")) {
@@ -531,6 +552,9 @@ int main(int argc, char** argv) {
     }
     obs_options.announce = !quiet;
     session.emplace(std::move(obs_options));
+    // The session constructor reset every gauge; restore the selection
+    // record so the metrics export names the backend that ran.
+    backend::AnnounceActiveBackend();
   }
 
   // Stream handles its own input (it accepts "-" for stdin, which LoadInput

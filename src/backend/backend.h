@@ -1,0 +1,110 @@
+#ifndef GVA_BACKEND_BACKEND_H_
+#define GVA_BACKEND_BACKEND_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gva::backend {
+
+/// Elements per abandon-check block of the z-normalized distance kernel.
+/// Every backend — scalar or SIMD — checks the abandon limit at exactly
+/// this granularity, so the set of abandoned calls is backend-independent
+/// wherever the accumulated sums agree (see DESIGN.md §11 for the one
+/// tolerance-bounded exception). SubsequenceDistance::kBlock aliases this.
+inline constexpr size_t kDistanceBlock = 16;
+
+/// Stable identifiers exported through the `backend.selected` gauge.
+/// Gauge value 0 means "no backend selected yet", so ids start at 1.
+enum class BackendId : int { kScalar = 1, kAvx2 = 2, kNeon = 3 };
+
+/// A table of kernel implementations plus capability metadata — the
+/// ggml-style seam between the algorithm layer (discord searches, SAX
+/// substrate) and hardware-specific code. All raw SIMD intrinsics in the
+/// tree live behind this table, under src/backend/ (enforced by the
+/// `simd-intrinsics` lint rule). A future GPU/OpenCL backend is one more
+/// table (plus staging buffers), not a rewrite of the call sites.
+struct KernelBackend {
+  /// Stable lowercase name ("scalar", "avx2", "neon") — the vocabulary of
+  /// GVA_BACKEND / --backend and of kernel_bench row suffixes.
+  const char* name;
+  BackendId id;
+  /// Doubles processed per SIMD lane-group (1 for scalar, 4 for AVX2,
+  /// 2 for NEON). Diagnostic only.
+  size_t lanes;
+  /// True when znorm_distance_block reproduces the scalar backend's strict
+  /// left-to-right summation order bit-for-bit. The SIMD backends fold
+  /// lane-parallel partial sums instead — the one documented exception to
+  /// the repo's bit-exactness contract (DESIGN.md §11); their results are
+  /// tolerance-tested against scalar. paa_segment_sums is bit-exact in
+  /// every backend (each output is a single IEEE subtraction).
+  bool bit_exact_distance;
+
+  /// Fused z-normalized squared-Euclidean pass over a[0..length) and
+  /// b[0..length): accumulates ((a[i]-mean_a)*inv_a - (b[i]-mean_b)*inv_b)^2
+  /// with an abandon check against `limit_sq` once per kDistanceBlock
+  /// elements plus once after the tail. Passing limit_sq == +infinity
+  /// disables the checks (full-length path). Returns true when the scan
+  /// completed — *sum_sq then holds the squared distance — and false when
+  /// the running sum reached limit_sq (early abandon; *sum_sq untouched).
+  /// Within one backend the full-length and abandoning paths use the same
+  /// accumulation structure, so a non-abandoned limited call returns the
+  /// same bits as the unlimited call.
+  bool (*znorm_distance_block)(const double* a, const double* b,
+                               size_t length, double mean_a, double inv_a,
+                               double mean_b, double inv_b, double limit_sq,
+                               double* sum_sq);
+
+  /// PAA segment sums from a prefix-sum table: for j in [0, segments),
+  /// out[j] = prefix[(j + 1) * step] - prefix[j * step]. One IEEE
+  /// subtraction per output, so results are bit-identical across backends
+  /// and the SAX guarded-fallback contract is unaffected by dispatch.
+  void (*paa_segment_sums)(const double* prefix, size_t segments,
+                           size_t step, double* out);
+};
+
+/// The portable reference backend. Always available; its summation order is
+/// the contract every test oracle pins.
+const KernelBackend* ScalarBackend();
+
+/// The AVX2+FMA backend. Null when the binary was built without AVX2
+/// support or the CPU lacks avx2/fma.
+const KernelBackend* Avx2Backend();
+
+/// The NEON backend. Null off aarch64.
+const KernelBackend* NeonBackend();
+
+/// Available backends in auto-selection preference order (fastest first,
+/// scalar always last). Never empty.
+std::vector<const KernelBackend*> AvailableBackends();
+
+/// Resolves "scalar" / "avx2" / "neon" / "auto" to a backend. Returns null
+/// for unknown names and for backends this host cannot run.
+const KernelBackend* FindBackend(std::string_view name);
+
+/// The process-wide active backend used by default-constructed oracles and
+/// discretizers. Resolved once on first use: GVA_BACKEND=scalar|avx2|neon|
+/// auto when set (an unknown or unavailable value aborts loudly — a forced
+/// backend silently falling back would invalidate a benchmark), otherwise
+/// "auto". Selection records the backend's id in the `backend.selected`
+/// gauge. Thread-safe.
+const KernelBackend& ActiveBackend();
+
+/// Programmatic override (the --backend CLI/bench flag). Accepts the same
+/// vocabulary as GVA_BACKEND; InvalidArgument for unknown/unavailable
+/// names. Affects oracles constructed afterwards, not ones already holding
+/// the previous backend.
+Status SetActiveBackend(std::string_view name);
+
+/// Re-records the active backend's id in the `backend.selected` gauge,
+/// resolving the backend if it has not been used yet. Selection announces
+/// itself, but a metrics reset — obs::ObsSession's constructor clears
+/// every gauge — erases that record; call this after starting a session so
+/// the exported snapshot still names the backend in use.
+void AnnounceActiveBackend();
+
+}  // namespace gva::backend
+
+#endif  // GVA_BACKEND_BACKEND_H_

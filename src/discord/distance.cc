@@ -2,30 +2,11 @@
 
 #include <cmath>
 
+#include "backend/backend.h"
 #include "timeseries/stats.h"
 #include "util/check.h"
 
 namespace gva {
-
-namespace {
-
-/// Writes the squared z-normalized differences of a[0..count) and
-/// b[0..count) into out[0..count). Branch-free with independent iterations,
-/// so the compiler can vectorize it; the caller folds `out` into its
-/// running sum left-to-right, which keeps the overall summation order
-/// identical to the scalar kernel's.
-inline void SquaredDiffBlock(const double* a, const double* b, size_t count,
-                             double mean_a, double inv_a, double mean_b,
-                             double inv_b, double* out) {
-  for (size_t i = 0; i < count; ++i) {
-    const double va = (a[i] - mean_a) * inv_a;
-    const double vb = (b[i] - mean_b) * inv_b;
-    const double d = va - vb;
-    out[i] = d * d;
-  }
-}
-
-}  // namespace
 
 double EuclideanDistance(std::span<const double> a,
                          std::span<const double> b) {
@@ -50,18 +31,21 @@ double ZNormEuclideanDistance(std::span<const double> a,
   const double inv_a = sd_a < epsilon ? 1.0 : 1.0 / sd_a;
   const double inv_b = sd_b < epsilon ? 1.0 : 1.0 / sd_b;
   double sum_sq = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double va = (a[i] - mean_a) * inv_a;
-    const double vb = (b[i] - mean_b) * inv_b;
-    const double d = va - vb;
-    sum_sq += d * d;
-  }
+  const bool completed = backend::ActiveBackend().znorm_distance_block(
+      a.data(), b.data(), a.size(), mean_a, inv_a, mean_b, inv_b,
+      SubsequenceDistance::kInfinity, &sum_sq);
+  GVA_CHECK(completed);  // An infinite limit never abandons.
   return std::sqrt(sum_sq);
 }
 
-SubsequenceDistance::SubsequenceDistance(std::span<const double> series,
-                                         double znorm_epsilon)
-    : series_(series), epsilon_(znorm_epsilon), stats_(series) {}
+SubsequenceDistance::SubsequenceDistance(
+    std::span<const double> series, double znorm_epsilon,
+    const backend::KernelBackend* kernel_backend)
+    : series_(series),
+      epsilon_(znorm_epsilon),
+      backend_(kernel_backend != nullptr ? kernel_backend
+                                         : &backend::ActiveBackend()),
+      stats_(series) {}
 
 SubsequenceDistance::MeanStd SubsequenceDistance::StatsOf(
     size_t pos, size_t length) const {
@@ -78,53 +62,14 @@ double SubsequenceDistance::Distance(size_t p, size_t q, size_t length,
   GVA_DCHECK(q + length <= series_.size());
   const MeanStd sp = StatsOf(p, length);
   const MeanStd sq = StatsOf(q, length);
-  const double* a = series_.data() + p;
-  const double* b = series_.data() + q;
-  double block[kBlock];
+  // kInfinity squared is kInfinity, so an unlimited call reaches the
+  // backend's check-free full-length path without a special case here.
+  const double limit_sq = limit == kInfinity ? kInfinity : limit * limit;
   double sum_sq = 0.0;
-  size_t i = 0;
-
-  if (limit == kInfinity) {
-    // Full-length fast path: no abandon checks at all.
-    for (; i + kBlock <= length; i += kBlock) {
-      SquaredDiffBlock(a + i, b + i, kBlock, sp.mean, sp.inv_std, sq.mean,
-                       sq.inv_std, block);
-      for (size_t j = 0; j < kBlock; ++j) {
-        sum_sq += block[j];
-      }
-    }
-    const size_t tail = length - i;
-    SquaredDiffBlock(a + i, b + i, tail, sp.mean, sp.inv_std, sq.mean,
-                     sq.inv_std, block);
-    for (size_t j = 0; j < tail; ++j) {
-      sum_sq += block[j];
-    }
-    return Completed(std::sqrt(sum_sq));
-  }
-
-  // Abandoning path: the limit is checked once per block. The squared
-  // terms are non-negative, so the running sum is monotone and the
-  // block-granular check abandons exactly the calls a per-element check
-  // would (possibly a few elements later).
-  const double limit_sq = limit * limit;
-  for (; i + kBlock <= length; i += kBlock) {
-    SquaredDiffBlock(a + i, b + i, kBlock, sp.mean, sp.inv_std, sq.mean,
-                     sq.inv_std, block);
-    for (size_t j = 0; j < kBlock; ++j) {
-      sum_sq += block[j];
-    }
-    if (sum_sq >= limit_sq) {
-      abandoned_.Add();
-      return kInfinity;
-    }
-  }
-  const size_t tail = length - i;
-  SquaredDiffBlock(a + i, b + i, tail, sp.mean, sp.inv_std, sq.mean,
-                   sq.inv_std, block);
-  for (size_t j = 0; j < tail; ++j) {
-    sum_sq += block[j];
-  }
-  if (sum_sq >= limit_sq) {
+  const bool completed = backend_->znorm_distance_block(
+      series_.data() + p, series_.data() + q, length, sp.mean, sp.inv_std,
+      sq.mean, sq.inv_std, limit_sq, &sum_sq);
+  if (!completed) {
     abandoned_.Add();
     return kInfinity;
   }

@@ -1,10 +1,12 @@
 #ifndef GVA_DISCORD_DISTANCE_H_
 #define GVA_DISCORD_DISTANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
 
+#include "backend/backend.h"
 #include "obs/metrics.h"
 #include "timeseries/rolling_stats.h"
 #include "timeseries/znorm.h"
@@ -16,11 +18,14 @@ double EuclideanDistance(std::span<const double> a, std::span<const double> b);
 
 /// Euclidean distance between the z-normalized forms of `a` and `b`.
 /// Allocation-free: the z-normalized values are fused into the accumulation
-/// loop instead of being materialized (but the arithmetic — mean, standard
+/// loop instead of being materialized. The arithmetic — mean, standard
 /// deviation, flat-window centering, per-element normalize-subtract-square
-/// — is exactly the ZNormalize + EuclideanDistance composition, so results
-/// are unchanged). Convenience wrapper used by tests and diagnostics; the
-/// hot path lives in SubsequenceDistance.
+/// — is the ZNormalize + EuclideanDistance composition, dispatched through
+/// the active kernel backend: bit-identical to that composition under the
+/// scalar backend, within rounding tolerance under the SIMD backends (the
+/// documented summation-order exception, DESIGN.md §11). Convenience
+/// wrapper used by tests and diagnostics; the hot path lives in
+/// SubsequenceDistance.
 double ZNormEuclideanDistance(std::span<const double> a,
                               std::span<const double> b,
                               double epsilon = kDefaultZNormEpsilon);
@@ -40,23 +45,24 @@ double ZNormEuclideanDistance(std::span<const double> a,
 /// -DGVA_OBS=OFF build strips the telemetry but still reports exact call
 /// counts. The optional distance histogram is telemetry and stays gated.
 ///
-/// Kernel structure (see DESIGN.md, "Kernel layer"): the pass is blocked.
-/// Each block of kBlock elements is normalized, differenced, and squared
-/// into a local buffer by a branch-free loop the compiler can vectorize;
-/// the buffer is then folded into the running sum in strict left-to-right
-/// order and the abandon limit is checked once per block. Because squared
-/// terms are non-negative the running sum is monotone, so checking at block
-/// granularity abandons exactly the calls a per-element check would — and
-/// the preserved summation order keeps non-abandoned results bit-identical
-/// to the scalar kernel's. When `limit == kInfinity` an unconditional
-/// full-length path skips the limit checks entirely.
+/// Kernel structure (see DESIGN.md §5c and §11): the fused pass runs
+/// through a backend::KernelBackend table selected at construction
+/// (defaulting to the process-wide active backend — scalar, AVX2, or NEON).
+/// Every backend checks the abandon limit once per kBlock elements plus
+/// once after the tail; squared terms are non-negative and the running sum
+/// is monotone, so block-granular checking abandons exactly the calls a
+/// per-element check of the same sums would. For a fixed backend, results
+/// — values and abandon decisions both — are bit-reproducible across runs,
+/// thread counts, and limited-vs-unlimited paths. Across backends,
+/// completed distances agree bitwise when the backend advertises
+/// bit_exact_distance and within rounding tolerance otherwise.
 ///
 /// Thread safety: one instance may be shared by the parallel searches.
-/// Distance() is const and touches only immutable state plus the relaxed
-/// atomic call counter, so concurrent Distance() calls are race-free and
-/// the final calls() total is exact for any thread count (the interleaving
-/// of increments is not reproducible, but the sum is). ResetCalls() must
-/// not race with in-flight Distance() calls.
+/// Distance() is const and touches only immutable state plus relaxed
+/// atomics, so concurrent Distance() calls are race-free and the final
+/// calls() total is exact for any thread count (the interleaving of
+/// increments is not reproducible, but the sum is). ResetCalls() must not
+/// race with in-flight Distance() calls.
 class SubsequenceDistance {
  public:
   static constexpr double kInfinity = std::numeric_limits<double>::infinity();
@@ -64,10 +70,16 @@ class SubsequenceDistance {
   /// Elements per abandon-check block. Wide enough to amortize the limit
   /// check and fill SIMD lanes, small enough that an abandoned call does
   /// at most kBlock - 1 elements of extra work versus a per-element check.
-  static constexpr size_t kBlock = 16;
+  static constexpr size_t kBlock = backend::kDistanceBlock;
 
-  explicit SubsequenceDistance(std::span<const double> series,
-                               double znorm_epsilon = kDefaultZNormEpsilon);
+  /// `kernel_backend` selects the kernel implementation; null means the
+  /// process-wide backend::ActiveBackend() (GVA_BACKEND / --backend). Tests
+  /// asserting bitwise agreement with a scalar reference pin
+  /// backend::ScalarBackend() explicitly.
+  explicit SubsequenceDistance(
+      std::span<const double> series,
+      double znorm_epsilon = kDefaultZNormEpsilon,
+      const backend::KernelBackend* kernel_backend = nullptr);
 
   /// Euclidean distance between the z-normalized subsequences
   /// [p, p+length) and [q, q+length). If the running squared sum proves the
@@ -91,13 +103,19 @@ class SubsequenceDistance {
 
   /// Attaches a histogram that records every *completed* call's distance
   /// value (abandoned calls have no value to record). Pass nullptr to
-  /// detach. Opt-in because it adds a histogram update to the hot path;
-  /// the attach itself must not race with in-flight Distance() calls.
+  /// detach. Opt-in because it adds a histogram update to the hot path.
+  /// The slot is a relaxed atomic, so attaching or detaching while other
+  /// threads are inside Distance() is race-free; in-flight calls may record
+  /// into whichever histogram they loaded, so keep the histogram alive
+  /// until every call that could have seen it has returned.
   void AttachDistanceHistogram(obs::Histogram* histogram) {
-    distance_histogram_ = histogram;
+    distance_histogram_.store(histogram, std::memory_order_relaxed);
   }
 
   size_t series_length() const { return series_.size(); }
+
+  /// The kernel backend this oracle dispatches through.
+  const backend::KernelBackend& kernel_backend() const { return *backend_; }
 
  private:
   struct MeanStd {
@@ -111,18 +129,20 @@ class SubsequenceDistance {
   /// distance histogram.
   double Completed(double d) const {
     completed_.Add();
-    if (distance_histogram_ != nullptr) {
-      distance_histogram_->Record(d);
+    obs::Histogram* h = distance_histogram_.load(std::memory_order_relaxed);
+    if (h != nullptr) {
+      h->Record(d);
     }
     return d;
   }
 
   std::span<const double> series_;
   double epsilon_;
+  const backend::KernelBackend* backend_;
   RollingStats stats_;
   mutable obs::BasicCounter<true> completed_;
   mutable obs::BasicCounter<true> abandoned_;
-  obs::Histogram* distance_histogram_ = nullptr;
+  std::atomic<obs::Histogram*> distance_histogram_{nullptr};
 };
 
 }  // namespace gva

@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 
+#include "backend/backend.h"
 #include "obs/trace.h"
 #include "sax/mindist.h"
 #include "sax/paa.h"
@@ -147,6 +148,24 @@ bool ZRowFromSource(const Source& src, const SaxPaaGeometry& g,
   // Relative error of `inv`, as an absolute error per unit of |z|.
   const double inv_rel_err = flat ? 0.0 : sd_err * inv;
 
+  // Segment-sum batching: when the source exposes the backend seam (a
+  // contiguous prefix table), the divisible equal-step case hands all
+  // `paa` range sums to the active backend's PaaSegmentSums kernel in one
+  // call. Each output is the identical single prefix subtraction
+  // src.Sum() performs, so the batched and per-segment paths are
+  // bit-identical and the guard decisions are unaffected by dispatch. The
+  // online ring source has no contiguous prefix and keeps the generic
+  // path.
+  constexpr size_t kMaxBatchedPaa = 64;
+  double seg_sums[kMaxBatchedPaa];
+  bool batched = false;
+  if constexpr (requires { src.SegmentSums(pos, g.paa, g.step, seg_sums); }) {
+    if (g.divisible && g.step > 1 && g.paa <= kMaxBatchedPaa) {
+      src.SegmentSums(pos, g.paa, g.step, seg_sums);
+      batched = true;
+    }
+  }
+
   for (size_t j = 0; j < g.paa; ++j) {
     double seg_mean;
     double seg_err;
@@ -156,7 +175,8 @@ bool ZRowFromSource(const Source& src, const SaxPaaGeometry& g,
         seg_err = 0.0;
       } else {
         const size_t seg_pos = pos + j * g.step;
-        seg_mean = src.Sum(seg_pos, g.step) / static_cast<double>(g.step);
+        seg_mean = (batched ? seg_sums[j] : src.Sum(seg_pos, g.step)) /
+                   static_cast<double>(g.step);
         seg_err = src.RangeSumErrorBound(seg_pos, g.step) /
                   static_cast<double>(g.step);
       }
@@ -178,11 +198,18 @@ bool ZRowFromSource(const Source& src, const SaxPaaGeometry& g,
 }
 
 /// Source over a materialized series backed by RollingStats prefix sums.
+/// Exposes the backend seam (SegmentSums) so the z-row kernel can batch
+/// the divisible-case PAA sums through the dispatched kernel.
 struct SpanSource {
   std::span<const double> series;
   const RollingStats* stats;
+  const backend::KernelBackend* backend;
 
   double Sample(size_t i) const { return series[i]; }
+  void SegmentSums(size_t pos, size_t count, size_t step, double* out) const {
+    backend->paa_segment_sums(stats->PrefixSums().data() + pos, count, step,
+                              out);
+  }
   double Sum(size_t pos, size_t len) const { return stats->Sum(pos, len); }
   double SumSq(size_t pos, size_t len) const { return stats->SumSq(pos, len); }
   double RangeSumErrorBound(size_t pos, size_t len) const {
@@ -304,10 +331,10 @@ SaxPaaGeometry::SaxPaaGeometry(const SaxOptions& opts)
   }
 }
 
-IncrementalDiscretizer::IncrementalDiscretizer(std::span<const double> series,
-                                               const SaxOptions& opts,
-                                               const NormalAlphabet& alphabet,
-                                               const RollingStats* shared_stats)
+IncrementalDiscretizer::IncrementalDiscretizer(
+    std::span<const double> series, const SaxOptions& opts,
+    const NormalAlphabet& alphabet, const RollingStats* shared_stats,
+    const backend::KernelBackend* kernel_backend)
     : series_(series),
       owned_stats_(shared_stats == nullptr
                        ? std::optional<RollingStats>(std::in_place, series)
@@ -315,6 +342,8 @@ IncrementalDiscretizer::IncrementalDiscretizer(std::span<const double> series,
       stats_(shared_stats != nullptr ? shared_stats : &*owned_stats_),
       opts_(opts),
       alphabet_(alphabet),
+      backend_(kernel_backend != nullptr ? kernel_backend
+                                         : &backend::ActiveBackend()),
       geometry_(opts) {}
 
 void IncrementalDiscretizer::WordAt(size_t pos, std::string& word) {
@@ -325,7 +354,7 @@ void IncrementalDiscretizer::WordAt(size_t pos, std::string& word) {
 }
 
 bool IncrementalDiscretizer::ZRowAt(size_t pos, double* z, double* err) const {
-  const SpanSource src{series_, stats_};
+  const SpanSource src{series_, stats_, backend_};
   return ZRowFromSource(src, geometry_, opts_.znorm_epsilon, pos, z, err);
 }
 

@@ -17,6 +17,10 @@ namespace gva {
 
 class ThreadPool;
 
+namespace backend {
+struct KernelBackend;
+}  // namespace backend
+
 /// How consecutive identical SAX words are collapsed (paper Section 3.2).
 enum class NumerosityReduction {
   /// Keep every window's word.
@@ -173,11 +177,17 @@ class IncrementalDiscretizer {
   /// `shared_stats`, when non-null, must be a RollingStats over exactly
   /// `series`; the discretizer then skips its own prefix-sum build. The
   /// prefix arrays are deterministic functions of the series, so shared and
-  /// owned tables yield bit-identical words.
+  /// owned tables yield bit-identical words. `kernel_backend` selects the
+  /// backend whose PaaSegmentSums kernel batches the divisible-case segment
+  /// sums (null = the process-wide backend::ActiveBackend()); that kernel
+  /// is bit-exact in every backend, so the emitted words are byte-identical
+  /// regardless of dispatch.
   IncrementalDiscretizer(std::span<const double> series,
                          const SaxOptions& opts,
                          const NormalAlphabet& alphabet,
-                         const RollingStats* shared_stats = nullptr);
+                         const RollingStats* shared_stats = nullptr,
+                         const backend::KernelBackend* kernel_backend =
+                             nullptr);
 
   /// Computes the SAX word of the window at `pos` into `word` (which must
   /// have length paa_size). Falls back to the reference path internally
@@ -201,6 +211,7 @@ class IncrementalDiscretizer {
   const RollingStats* stats_;
   const SaxOptions& opts_;
   const NormalAlphabet& alphabet_;
+  const backend::KernelBackend* backend_;
   SaxPaaGeometry geometry_;
 };
 

@@ -76,6 +76,13 @@ class RollingStats {
   /// Same bound for SumSq(pos, len).
   double RangeSumSqErrorBound(size_t pos, size_t len) const;
 
+  /// The raw prefix-sum table (size() + 1 entries, PrefixSums()[i] = sum of
+  /// the first i values). Exposed so batched kernels — the backend layer's
+  /// PaaSegmentSums — can difference many ranges in one pass; each such
+  /// difference is the identical single IEEE subtraction Sum() performs, so
+  /// batching never changes a value.
+  std::span<const double> PrefixSums() const { return prefix_; }
+
  private:
   size_t n_;
   std::vector<double> prefix_;     // prefix_[i] = values[0] + ... + values[i-1]

@@ -1,0 +1,143 @@
+#include "backend/backend.h"
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace gva::backend {
+namespace {
+
+TEST(BackendRegistryTest, ScalarIsAlwaysAvailable) {
+  const KernelBackend* scalar = ScalarBackend();
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_STREQ(scalar->name, "scalar");
+  EXPECT_EQ(scalar->id, BackendId::kScalar);
+  EXPECT_EQ(scalar->lanes, 1u);
+  EXPECT_TRUE(scalar->bit_exact_distance);
+  EXPECT_NE(scalar->znorm_distance_block, nullptr);
+  EXPECT_NE(scalar->paa_segment_sums, nullptr);
+}
+
+TEST(BackendRegistryTest, AvailableBackendsEndsWithScalarAndIsComplete) {
+  const std::vector<const KernelBackend*> backends = AvailableBackends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.back(), ScalarBackend());
+  // Every advertised backend has a well-formed table.
+  for (const KernelBackend* b : backends) {
+    EXPECT_NE(b->name, nullptr);
+    EXPECT_NE(b->znorm_distance_block, nullptr);
+    EXPECT_NE(b->paa_segment_sums, nullptr);
+    EXPECT_GE(b->lanes, 1u);
+  }
+  // SIMD backends that the registry hands out must also be findable by
+  // name, and vice versa.
+  if (const KernelBackend* avx2 = Avx2Backend()) {
+    EXPECT_EQ(FindBackend("avx2"), avx2);
+    EXPECT_FALSE(avx2->bit_exact_distance);
+    EXPECT_EQ(avx2->lanes, 4u);
+  }
+  if (const KernelBackend* neon = NeonBackend()) {
+    EXPECT_EQ(FindBackend("neon"), neon);
+    EXPECT_FALSE(neon->bit_exact_distance);
+    EXPECT_EQ(neon->lanes, 2u);
+  }
+}
+
+TEST(BackendRegistryTest, FindBackendResolvesNamesAndAuto) {
+  EXPECT_EQ(FindBackend("scalar"), ScalarBackend());
+  // auto = first entry of the preference-ordered list (fastest available).
+  EXPECT_EQ(FindBackend("auto"), AvailableBackends().front());
+  EXPECT_EQ(FindBackend("opencl"), nullptr);
+  EXPECT_EQ(FindBackend(""), nullptr);
+}
+
+TEST(BackendRegistryTest, SetActiveBackendAppliesAndRejects) {
+  ASSERT_TRUE(SetActiveBackend("scalar").ok());
+  EXPECT_EQ(&ActiveBackend(), ScalarBackend());
+
+  const Status bad = SetActiveBackend("no-such-backend");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  // A failed set leaves the previous selection in place.
+  EXPECT_EQ(&ActiveBackend(), ScalarBackend());
+
+  ASSERT_TRUE(SetActiveBackend("auto").ok());
+  EXPECT_EQ(&ActiveBackend(), AvailableBackends().front());
+}
+
+TEST(BackendRegistryTest, AnnounceSurvivesMetricsReset) {
+  // obs::ObsSession's constructor resets every gauge, erasing the
+  // backend.selected record made at selection time; AnnounceActiveBackend
+  // is the documented way to restore it (gva_cli and MakeObsSession call
+  // it right after starting a session).
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "metrics compiled out";
+  }
+  ASSERT_TRUE(SetActiveBackend("scalar").ok());
+  obs::GlobalMetrics().Reset();
+  EXPECT_EQ(obs::GlobalMetrics().gauge("backend.selected").value(), 0);
+  AnnounceActiveBackend();
+  EXPECT_EQ(obs::GlobalMetrics().gauge("backend.selected").value(),
+            static_cast<int64_t>(BackendId::kScalar));
+  ASSERT_TRUE(SetActiveBackend("auto").ok());
+  EXPECT_EQ(obs::GlobalMetrics().gauge("backend.selected").value(),
+            static_cast<int64_t>(ActiveBackend().id));
+}
+
+TEST(BackendPaaSegmentSumsTest, BitIdenticalToScalarOnEveryBackend) {
+  // The PAA kernel's contract is bit-exactness: each output is the single
+  // IEEE subtraction out[j] = prefix[(j+1)*step] - prefix[j*step], so the
+  // SAX guarded-fallback layer may ignore dispatch entirely. Cover lane
+  // tails (segments not a multiple of 4), step 1, and large magnitudes.
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t segments = 1 + rng.UniformInt(33);  // 1..33
+    const size_t step = 1 + rng.UniformInt(64);      // 1..64
+    std::vector<double> prefix(segments * step + 1);
+    double acc = 0.0;
+    for (double& p : prefix) {
+      p = acc;
+      acc += (rng.UniformDouble() - 0.5) * 2000.0;
+    }
+    std::vector<double> want(segments);
+    ScalarBackend()->paa_segment_sums(prefix.data(), segments, step,
+                                      want.data());
+    for (const KernelBackend* b : AvailableBackends()) {
+      std::vector<double> got(segments, -1.0);
+      b->paa_segment_sums(prefix.data(), segments, step, got.data());
+      for (size_t j = 0; j < segments; ++j) {
+        EXPECT_EQ(got[j], want[j])
+            << b->name << " trial=" << trial << " j=" << j
+            << " segments=" << segments << " step=" << step;
+      }
+    }
+  }
+}
+
+TEST(BackendDistanceKernelTest, InfiniteLimitNeverAbandons) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Rng rng(7);
+  std::vector<double> a(300);
+  std::vector<double> b(300);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  for (const KernelBackend* backend : AvailableBackends()) {
+    double sum_sq = -1.0;
+    EXPECT_TRUE(backend->znorm_distance_block(a.data(), b.data(), a.size(),
+                                              0.0, 1.0, 0.0, 1.0, kInf,
+                                              &sum_sq))
+        << backend->name;
+    EXPECT_GE(sum_sq, 0.0) << backend->name;
+  }
+}
+
+}  // namespace
+}  // namespace gva::backend

@@ -3,6 +3,11 @@
 // the abandon check between blocks) must match a scalar per-element
 // reference in value and in abandon *decision*, and the call counter must
 // still count exactly one call per invocation under concurrency.
+//
+// Every oracle here is pinned to the scalar backend: these are properties
+// of the scalar blocked kernel specifically (e.g. "the limit compares
+// against the same running sum either way"), which the SIMD backends do not
+// promise. Cross-backend agreement lives in tests/backend/.
 
 #include <cmath>
 #include <thread>
@@ -10,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/backend.h"
 #include "datasets/simple.h"
 #include "discord/distance.h"
 #include "util/rng.h"
@@ -74,7 +80,8 @@ class ScalarReferenceDistance {
 
 TEST(BlockedDistanceTest, MatchesScalarReferenceOnRandomPairs) {
   const std::vector<double> series = MakeRandomWalk(2000, 1.0, 91);
-  SubsequenceDistance dist(series);
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   ScalarReferenceDistance ref(series);
   Rng rng(7);
   for (int trial = 0; trial < 500; ++trial) {
@@ -92,7 +99,8 @@ TEST(BlockedDistanceTest, MatchesScalarReferenceOnRandomPairs) {
 
 TEST(BlockedDistanceTest, ExactBlockMultipleLengths) {
   const std::vector<double> series = MakeSine(1000, 43.0, 0.15, 3);
-  SubsequenceDistance dist(series);
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   ScalarReferenceDistance ref(series);
   for (size_t len :
        {SubsequenceDistance::kBlock, 2 * SubsequenceDistance::kBlock,
@@ -110,7 +118,8 @@ TEST(BlockedDistanceTest, AbandonsIffScalarReferenceWouldReachLimit) {
   // exactly the calls the per-element check abandons: kInfinity iff the
   // full distance >= limit, the exact value otherwise.
   const std::vector<double> series = MakeSine(1500, 27.0, 0.2, 29);
-  SubsequenceDistance dist(series);
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   ScalarReferenceDistance ref(series);
   Rng rng(13);
   for (int trial = 0; trial < 500; ++trial) {
@@ -137,7 +146,8 @@ TEST(BlockedDistanceTest, LimitAtExactDistanceDecidesLikeScalar) {
   // the blocked kernel decides exactly like the per-element scalar kernel —
   // the comparison happens against the same running sum either way.
   const std::vector<double> series = MakeSine(300, 21.0, 0.1, 5);
-  SubsequenceDistance dist(series);
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   ScalarReferenceDistance ref(series);
   for (size_t len : {7u, 32u, 45u, 64u}) {
     for (size_t p : {2u, 30u, 101u}) {
@@ -160,7 +170,8 @@ TEST(BlockedDistanceTest, FastPathAndLimitedPathAgree) {
   // A limit far above the distance must not perturb the result relative to
   // the unconditional full-length path (same summation order in both).
   const std::vector<double> series = MakeRandomWalk(800, 1.0, 77);
-  SubsequenceDistance dist(series);
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   Rng rng(3);
   for (int trial = 0; trial < 200; ++trial) {
     const size_t len = 4 + rng.UniformInt(120);
@@ -179,7 +190,8 @@ TEST(BlockedDistanceTest, EveryLengthBelowOneBlockMatchesScalar) {
   // before the first block-granular limit check (abandoning variant), so
   // each length is its own code shape worth pinning.
   const std::vector<double> series = MakeRandomWalk(400, 1.0, 41);
-  SubsequenceDistance dist(series);
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   ScalarReferenceDistance ref(series);
   for (size_t len = 2; len <= SubsequenceDistance::kBlock; ++len) {
     for (size_t p : {size_t{0}, size_t{33}, series.size() - len}) {
@@ -209,7 +221,8 @@ TEST(BlockedDistanceTest, ExactlyOneBlockExercisesNoRaggedTail) {
   // length == kBlock: one full block, zero tail elements — the boundary
   // between the blocked loop and the tail handling on both kernel paths.
   const std::vector<double> series = MakeSine(500, 31.0, 0.12, 17);
-  SubsequenceDistance dist(series);
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   ScalarReferenceDistance ref(series);
   const size_t len = SubsequenceDistance::kBlock;
   for (size_t p : {size_t{0}, size_t{7}, size_t{250}, series.size() - len}) {
@@ -234,7 +247,8 @@ TEST(BlockedDistanceTest, ZNormEuclideanAgreesWithOracleOnShortLengths) {
   for (size_t i = 100; i < 100 + SubsequenceDistance::kBlock; ++i) {
     series[i] = 4.2;  // flat stretch: sd < epsilon
   }
-  SubsequenceDistance dist(series);
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   for (size_t len :
        {size_t{2}, size_t{5}, size_t{11}, SubsequenceDistance::kBlock}) {
     for (size_t p : {size_t{0}, size_t{100}, size_t{200}}) {
@@ -252,7 +266,8 @@ TEST(BlockedDistanceTest, CountsExactlyOneCallPerInvocationUnderConcurrency) {
   // Both kernel paths (fast and abandoning) add exactly one relaxed
   // increment per invocation; a shared oracle must not lose any.
   const std::vector<double> series = MakeSine(600, 40.0, 0.1, 9);
-  SubsequenceDistance dist(series);
+  SubsequenceDistance dist(series, kDefaultZNormEpsilon,
+                           backend::ScalarBackend());
   constexpr int kThreads = 4;
   constexpr int kCallsPerThread = 3000;
   std::vector<std::thread> threads;

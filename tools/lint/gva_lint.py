@@ -53,6 +53,14 @@ include-self-first   a .cc file's first #include must be its own header,
                      proving the header is self-contained.
 include-bits         #include <bits/...> is libstdc++ internals; spell the
                      real header.
+simd-intrinsics      vector-intrinsic headers (immintrin.h, arm_neon.h, ...)
+                     or identifiers (_mm*, v*q_f64, __m256d, float64x2_t)
+                     outside src/backend/. ISA-specific code must live
+                     behind the dispatch table (backend::ActiveBackend());
+                     an intrinsic inlined elsewhere skips the runtime
+                     capability gate (SIGILL on older hardware), dodges the
+                     per-file -mavx2 isolation, and is invisible to the
+                     backend differential suite.
 """
 
 from __future__ import annotations
@@ -363,6 +371,48 @@ def check_include_bits(path: str, rel: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+# --- rule: simd-intrinsics ----------------------------------------------------
+
+# The only tree allowed to contain ISA-specific code: its TUs get per-file
+# ISA flags in src/CMakeLists.txt and its tables are gated by runtime
+# cpuid/hwcap checks before the registry hands them out.
+SIMD_ALLOWED_DIRS = ("src/backend/",)
+
+SIMD_PATTERNS = [
+    (re.compile(
+        r"#\s*include\s*[<\"](?:immintrin|x86intrin|emmintrin|smmintrin|"
+        r"avxintrin|arm_neon)\.h[>\"]"),
+     "vector-intrinsics header"),
+    (re.compile(r"(?<![\w])_mm\d*_\w+"), "x86 vector intrinsic"),
+    (re.compile(r"(?<![\w])__m(?:512|256|128)[di]?\b"), "x86 vector type"),
+    (re.compile(r"(?<![\w])v\w+q_f64\b"), "NEON vector intrinsic"),
+    (re.compile(r"(?<![\w])float64x[12]_t\b"), "NEON vector type"),
+]
+
+
+def check_simd_intrinsics(path: str, rel: str,
+                          lines: list[str]) -> list[Finding]:
+    if not rel.startswith(("src/", "examples/")):
+        return []
+    if rel.startswith(SIMD_ALLOWED_DIRS):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "simd-intrinsics" in allowed_rules(raw):
+            continue
+        code = strip_strings_and_comments(raw)
+        for pattern, label in SIMD_PATTERNS:
+            if pattern.search(code):
+                findings.append(Finding(
+                    rel, i, "simd-intrinsics",
+                    f"{label} outside src/backend/: ISA-specific code must "
+                    "go through the dispatch table (backend::ActiveBackend()"
+                    ") — inlined intrinsics skip the runtime capability "
+                    "gate and the per-file ISA compile flags"))
+                break  # one finding per line is enough
+    return findings
+
+
 # --- driver -------------------------------------------------------------------
 
 ALL_RULES = {
@@ -373,6 +423,7 @@ ALL_RULES = {
     "check-in-header": check_check_in_header,
     "include-self-first": check_include_self_first,
     "include-bits": check_include_bits,
+    "simd-intrinsics": check_simd_intrinsics,
 }
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")

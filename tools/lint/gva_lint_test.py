@@ -175,6 +175,52 @@ class IncludeHygieneRules(unittest.TestCase):
         self.assertEqual(rules_of(findings), ["include-bits"])
 
 
+class SimdIntrinsicsRule(unittest.TestCase):
+    """ISA-specific code outside src/backend/ bypasses the runtime
+    capability gate and the per-file ISA compile flags."""
+
+    def test_headers_intrinsics_and_types_fire(self) -> None:
+        findings = findings_for("src/discord/bad_simd.cc")
+        self.assertEqual(rules_of(findings), ["simd-intrinsics"] * 6)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn("vector-intrinsics header", messages)
+        self.assertIn("x86 vector", messages)
+        self.assertIn("NEON vector", messages)
+
+    def test_prose_strings_and_suppression_do_not_fire(self) -> None:
+        findings = findings_for("src/discord/bad_simd.cc")
+        flagged_lines = {f.line for f in findings}
+        lines = open(os.path.join(TESTDATA, "src/discord/bad_simd.cc"),
+                     encoding="utf-8").read().splitlines()
+        for i, line in enumerate(lines, 1):
+            if ("ProseIsFine" in line or "kDoc" in line
+                    or "allow(simd-intrinsics)" in line):
+                self.assertNotIn(i, flagged_lines)
+
+    def test_backend_tree_is_exempt(self) -> None:
+        # The identical content under src/backend/ is the one legal home.
+        full = os.path.join(TESTDATA, "src/discord/bad_simd.cc")
+        lines = open(full, encoding="utf-8").read().splitlines()
+        self.assertEqual(
+            gva_lint.check_simd_intrinsics(full, "src/backend/simd.cc",
+                                           lines),
+            [])
+
+    def test_real_backend_sources_are_the_only_intrinsic_users(self) -> None:
+        # The dispatch refactor's point: nothing outside src/backend/ in the
+        # real tree touches an intrinsic, so the default lint surface stays
+        # clean without suppressions.
+        root = os.path.normpath(os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+        for rel in ("src/discord/distance.cc", "src/sax/sax_transform.cc",
+                    "examples/gva_cli.cpp"):
+            full = os.path.join(root, rel)
+            lines = open(full, encoding="utf-8").read().splitlines()
+            self.assertEqual(
+                gva_lint.check_simd_intrinsics(full, rel, lines), [],
+                f"{rel} must dispatch through backend::ActiveBackend()")
+
+
 class CleanFixture(unittest.TestCase):
     def test_clean_pair_has_no_findings(self) -> None:
         self.assertEqual(findings_for("src/ensemble/clean.cc"), [])
@@ -209,6 +255,7 @@ class DriverBehaviour(unittest.TestCase):
             "check-in-header": 3,
             "include-self-first": 1,
             "include-bits": 1,
+            "simd-intrinsics": 6,
         })
 
 

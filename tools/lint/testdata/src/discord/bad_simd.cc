@@ -1,0 +1,37 @@
+// Fixture: SIMD intrinsics outside src/backend/. Expected simd-intrinsics
+// findings: 6 (x86 header, NEON header, two x86 intrinsic call lines, the
+// NEON vector-type line, and a NEON store line). Prose mentions of
+// _mm256_add_pd in comments and strings must not fire, and neither must
+// the suppressed line.
+#include <immintrin.h>  // finding: vector-intrinsics header
+#include <arm_neon.h>   // finding: vector-intrinsics header
+
+#include <cstddef>
+
+namespace gva {
+
+// A comment mentioning _mm256_fmadd_pd or vfmaq_f64 is fine: ProseIsFine.
+const char* kDoc = "docs may name _mm256_loadu_pd too";
+
+double HandRolledAvx2Sum(const double* p, size_t n) {
+  __m256d acc = _mm256_setzero_pd();  // finding: x86 intrinsic
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(p + i));  // finding: intrinsic
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);  // gva-lint: allow(simd-intrinsics)
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+double HandRolledNeonSum(const double* p, size_t n) {
+  double out = 0.0;
+  for (size_t i = 0; i + 2 <= n; i += 2) {
+    float64x2_t v = vaddq_f64(vld1q_f64(p + i), vdupq_n_f64(0.0));  // finding
+    double lanes[2];
+    vst1q_f64(lanes, v);  // finding: NEON store intrinsic
+    out += lanes[0] + lanes[1];
+  }
+  return out;
+}
+
+}  // namespace gva
