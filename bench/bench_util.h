@@ -13,7 +13,9 @@
 #include <string>
 
 #include "backend/backend.h"
+#include "obs/recorder.h"
 #include "obs/session.h"
+#include "obs/telemetry_server.h"
 #include "viz/svg.h"
 
 namespace gva::bench {
@@ -63,6 +65,12 @@ inline void MaybeWriteFigure(const SvgFigure& figure,
 ///                    applied immediately, exits 2 on unknown/unavailable
 ///                    names so a bench never silently measures the wrong
 ///                    kernel
+///   --telemetry-port=N  serve /metrics, /metrics.json, /healthz and
+///                    /flightz on 127.0.0.1:N for the run's lifetime
+///                    (0 = ephemeral port, printed on startup); applied
+///                    immediately, exits 2 when the port cannot be bound
+///                    so a scrape target never silently goes missing.
+///                    Also installs the fatal-signal flight dump.
 struct ObsFlags {
   std::string trace_path;
   std::string metrics_path;
@@ -91,6 +99,20 @@ inline bool ParseObsFlag(const std::string& arg, ObsFlags* flags) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       std::exit(2);
     }
+    return true;
+  }
+  if (arg.rfind("--telemetry-port=", 0) == 0) {
+    obs::InstallFlightSignalHandler();
+    obs::TelemetryServer::Options options;
+    options.port = static_cast<uint16_t>(
+        std::strtoul(arg.substr(17).c_str(), nullptr, 10));
+    const Status status = obs::StartGlobalTelemetry(options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(2);
+    }
+    std::printf("telemetry: http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(obs::GlobalTelemetry()->port()));
     return true;
   }
   return false;

@@ -43,10 +43,14 @@
 //   --no-share      disable substrate sharing (per-config pipelines; same
 //                   results, used for benchmarking the shared path)
 //
-// Observability (see DESIGN.md §6):
+// Observability (see DESIGN.md §6 and §12):
 //   --trace PATH    capture a Chrome trace-event JSON (chrome://tracing)
 //   --metrics PATH  write the metrics-registry snapshot as JSON and print
 //                   the per-stage timing summary
+//   --telemetry-port N  serve live telemetry over HTTP on 127.0.0.1:N for
+//                   the process lifetime (0 = ephemeral port, printed at
+//                   startup): /metrics (Prometheus), /metrics.json,
+//                   /healthz, /flightz (flight-recorder Chrome trace)
 //   --quiet         suppress informational chatter (loaded/suggested/wrote
 //                   lines and the metrics summary); result tables only
 //
@@ -56,6 +60,7 @@
 //                   auto-selection (fastest available). Search results are
 //                   backend-independent up to floating-point rounding.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -71,7 +76,9 @@
 #include "datasets/ecg.h"
 #include "ensemble/ensemble.h"
 #include "datasets/power_demand.h"
+#include "obs/recorder.h"
 #include "obs/session.h"
+#include "obs/telemetry_server.h"
 #include "timeseries/io.h"
 #include "util/csv.h"
 #include "viz/ascii_plot.h"
@@ -110,7 +117,7 @@ int Usage() {
                "--ensemble --grid SPEC --no-share "
                "--horizon N --report-every N "
                "--backend scalar|avx2|neon|auto "
-               "--trace PATH --metrics PATH --quiet]\n");
+               "--trace PATH --metrics PATH --telemetry-port N --quiet]\n");
   return 2;
 }
 
@@ -437,13 +444,34 @@ int RunStream(const Args& args) {
   }
 
   const size_t report_every = args.get_size("report-every", 0);
+
+  // Report latency is measured out here, not inside the monitor: the
+  // streaming core is clock-free by policy (determinism lint), while the
+  // CLI is where wall time is an honest health signal. A telemetry scrape
+  // mid-run sees the last latency as a gauge and the distribution as a
+  // base-2 histogram.
+  obs::Gauge& last_report_us = obs::GlobalMetrics().gauge(
+      "stream.last_report.us");
+  obs::Histogram& report_latency_us = obs::GlobalMetrics().histogram(
+      "stream.report.latency.us");
+  auto timed_report = [&]() {
+    const auto start = std::chrono::steady_clock::now();
+    auto report = monitor->Report();
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    last_report_us.Set(static_cast<int64_t>(us));
+    report_latency_us.Record(static_cast<double>(us));
+    return report;
+  };
+
   bool failed = false;
   auto feed = [&](double value) -> bool {  // false stops the stream
     monitor->Push(value);
     if (report_every == 0 || monitor->samples_seen() % report_every != 0) {
       return true;
     }
-    auto report = monitor->Report();
+    auto report = timed_report();
     if (!report.ok()) {
       // "Not enough data yet" is expected near the stream head; anything
       // else is a real failure.
@@ -479,7 +507,7 @@ int RunStream(const Args& args) {
     return 1;
   }
 
-  auto final_report = monitor->Report();
+  auto final_report = timed_report();
   if (!final_report.ok()) {
     std::fprintf(stderr, "final report failed: %s\n",
                  final_report.status().ToString().c_str());
@@ -538,6 +566,25 @@ int main(int argc, char** argv) {
   }
   if (!quiet) {
     std::printf("backend: %s\n", backend::ActiveBackend().name);
+  }
+
+  // Always-on post-mortem: a fatal signal dumps the span flight recorder
+  // to ./gva_flight.json before the process dies.
+  obs::InstallFlightSignalHandler();
+
+  if (args.has_flag("telemetry-port")) {
+    obs::TelemetryServer::Options telemetry;
+    telemetry.port =
+        static_cast<uint16_t>(args.get_size("telemetry-port", 0));
+    const Status status = obs::StartGlobalTelemetry(telemetry);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
+    if (!quiet) {
+      std::printf("telemetry: http://127.0.0.1:%u/metrics\n",
+                  static_cast<unsigned>(obs::GlobalTelemetry()->port()));
+    }
   }
 
   // The capture session spans input loading too, so I/O shows in the trace.

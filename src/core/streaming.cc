@@ -99,7 +99,10 @@ StreamingAnomalyMonitor::StreamingAnomalyMonitor(
       samples_counter_(&obs::GlobalMetrics().counter("stream.samples")),
       tokens_counter_(&obs::GlobalMetrics().counter("stream.tokens")),
       evictions_counter_(&obs::GlobalMetrics().counter("stream.evictions")),
-      reports_counter_(&obs::GlobalMetrics().counter("stream.reports")) {}
+      reports_counter_(&obs::GlobalMetrics().counter("stream.reports")),
+      retained_gauge_(&obs::GlobalMetrics().gauge("stream.retained_tokens")),
+      generations_gauge_(
+          &obs::GlobalMetrics().gauge("stream.generations.live")) {}
 
 StatusOr<StreamingAnomalyMonitor> StreamingAnomalyMonitor::Create(
     const StreamingOptions& options) {
@@ -132,6 +135,8 @@ void StreamingAnomalyMonitor::Push(double value) {
   }
   ++samples_seen_;
   samples_counter_->Add(1);
+  retained_gauge_->Set(static_cast<int64_t>(retained_tokens()));
+  generations_gauge_->Set(static_cast<int64_t>(generations_.size()));
 }
 
 void StreamingAnomalyMonitor::Feed(Generation& generation, double value) {

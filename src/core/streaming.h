@@ -152,6 +152,11 @@ class StreamingAnomalyMonitor {
   obs::Counter* tokens_counter_;
   obs::Counter* evictions_counter_;
   obs::Counter* reports_counter_;
+  // Live health gauges for telemetry scrapes: current retained-token count
+  // and live generation count, refreshed on every Push so /metrics sees
+  // the monitor's memory state move mid-stream.
+  obs::Gauge* retained_gauge_;
+  obs::Gauge* generations_gauge_;
 };
 
 }  // namespace gva

@@ -1,0 +1,125 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "util/strings.h"
+
+namespace gva::obs {
+
+namespace {
+
+/// Formats a histogram bucket's upper bound as a Prometheus `le` value.
+/// Every finite boundary under the shared base-2 rule is an exact power of
+/// two (or 1.0), so integer formatting is lossless; the last bucket is
+/// unbounded and spelled "+Inf".
+std::string LeValue(size_t bucket_index) {
+  if (bucket_index >= kHistogramBuckets - 1) {
+    return "+Inf";
+  }
+  const auto [lower, upper] = HistogramBucketBounds(bucket_index);
+  (void)lower;
+  return StrFormat("%llu", static_cast<unsigned long long>(upper));
+}
+
+const char* TypeName(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter:
+      return "counter";
+    case MetricSample::Kind::kGauge:
+      return "gauge";
+    case MetricSample::Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string PrometheusSeriesName(std::string_view name,
+                                 MetricSample::Kind kind) {
+  std::string out = "gva_";
+  out.reserve(name.size() + 24);
+  // A trailing `.us` is a unit, not a path segment: rewrite it to the
+  // spelled-out base unit the exposition conventions ask for.
+  std::string_view body = name;
+  bool microseconds = false;
+  if (body.size() > 3 && body.substr(body.size() - 3) == ".us") {
+    body.remove_suffix(3);
+    microseconds = true;
+  }
+  for (const char c : body) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_';
+    out.push_back(valid ? c : '_');
+  }
+  if (microseconds) {
+    out += "_microseconds";
+  }
+  if (kind == MetricSample::Kind::kCounter) {
+    out += "_total";
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const std::vector<MetricSample>& samples) {
+  std::string out;
+  out.reserve(samples.size() * 96);
+  for (const MetricSample& s : samples) {
+    const std::string series = PrometheusSeriesName(s.name, s.kind);
+    out += StrFormat("# HELP %s gva metric %s\n", series.c_str(),
+                     s.name.c_str());
+    out += StrFormat("# TYPE %s %s\n", series.c_str(), TypeName(s.kind));
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += StrFormat("%s %llu\n", series.c_str(),
+                         static_cast<unsigned long long>(s.counter_value));
+        break;
+      case MetricSample::Kind::kGauge:
+        out += StrFormat("%s %lld\n", series.c_str(),
+                         static_cast<long long>(s.gauge_value));
+        break;
+      case MetricSample::Kind::kHistogram: {
+        // Cumulative buckets over the shared boundaries: only boundaries up
+        // to the highest occupied bucket are materialized (the curve is
+        // flat beyond it), then the mandatory +Inf terminator.
+        uint64_t cumulative = 0;
+        size_t next = 0;  // next sparse (index, count) pair to fold in
+        // Highest occupied *finite* bucket: tail-only occupancy must not
+        // drag every flat intermediate boundary into the exposition.
+        size_t highest = 0;
+        bool any_finite = false;
+        for (const auto& bucket : s.histogram_buckets) {
+          if (bucket.first < kHistogramBuckets - 1) {
+            highest = bucket.first;
+            any_finite = true;
+          }
+        }
+        for (size_t b = 0; any_finite && b <= highest; ++b) {
+          if (next < s.histogram_buckets.size() &&
+              s.histogram_buckets[next].first == b) {
+            cumulative += s.histogram_buckets[next].second;
+            ++next;
+          }
+          out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", series.c_str(),
+                           LeValue(b).c_str(),
+                           static_cast<unsigned long long>(cumulative));
+        }
+        out += StrFormat(
+            "%s_bucket{le=\"+Inf\"} %llu\n", series.c_str(),
+            static_cast<unsigned long long>(s.histogram_count));
+        out += StrFormat("%s_sum %.6f\n", series.c_str(), s.histogram_sum);
+        out += StrFormat("%s_count %llu\n", series.c_str(),
+                         static_cast<unsigned long long>(s.histogram_count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsRegistry& registry) {
+  return RenderPrometheusText(registry.Snapshot());
+}
+
+}  // namespace gva::obs

@@ -1,0 +1,39 @@
+#ifndef GVA_OBS_EXPORT_H_
+#define GVA_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gva::obs {
+
+/// Maps a registry metric name onto the Prometheus series name the text
+/// exposition uses. The registry's dot-separated lowercase paths become
+/// underscore-separated, prefixed with `gva_`; any character outside
+/// [a-zA-Z0-9_] is replaced by '_' (Prometheus names admit no others).
+/// Unit suffixes follow the exposition conventions: a trailing `.us`
+/// becomes `_microseconds`, and counters additionally end in `_total`.
+/// Examples:
+///   stage.sax.words.us + kCounter -> gva_stage_sax_words_microseconds_total
+///   threadpool.queue.depth + kGauge -> gva_threadpool_queue_depth
+///   stream.latency.us + kHistogram -> gva_stream_latency_microseconds
+std::string PrometheusSeriesName(std::string_view name,
+                                 MetricSample::Kind kind);
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Output is deterministic for a given snapshot: series
+/// appear in the snapshot's name-sorted order, each preceded by `# HELP`
+/// (carrying the original registry name) and `# TYPE` lines. Histograms
+/// render as cumulative `_bucket{le="..."}` series over the shared base-2
+/// boundaries (HistogramBucketBounds), ending in `le="+Inf"`, plus `_sum`
+/// and `_count`.
+std::string RenderPrometheusText(const std::vector<MetricSample>& samples);
+
+/// Convenience overload: snapshot + render in one call.
+std::string RenderPrometheusText(const MetricsRegistry& registry);
+
+}  // namespace gva::obs
+
+#endif  // GVA_OBS_EXPORT_H_

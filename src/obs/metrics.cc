@@ -33,6 +33,43 @@ std::pair<double, double> HistogramBucketBounds(size_t i) {
   return {lower, std::ldexp(1.0, static_cast<int>(i))};
 }
 
+double HistogramQuantile(
+    const std::vector<std::pair<size_t, uint64_t>>& buckets, double q) {
+  uint64_t total = 0;
+  for (const auto& [index, count] : buckets) {
+    total += count;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // The sample of rank ceil(q * total) (1-based), i.e. the smallest value
+  // v such that at least q of the mass is <= v's bucket.
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (const auto& [index, count] : buckets) {
+    cumulative += count;
+    if (static_cast<double>(cumulative) >= target) {
+      const auto [lower, upper] = HistogramBucketBounds(index);
+      if (std::isinf(upper)) {
+        return lower;  // unbounded tail: the bound is the honest answer
+      }
+      // Linear interpolation: how far into this bucket's count the target
+      // rank lands scales across the bucket's width.
+      const double before =
+          static_cast<double>(cumulative) - static_cast<double>(count);
+      const double within =
+          count > 0 ? (target - before) / static_cast<double>(count) : 0.0;
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+  }
+  return HistogramBucketBounds(buckets.back().first).second;
+}
+
+double HistogramQuantile(const MetricSample& sample, double q) {
+  return HistogramQuantile(sample.histogram_buckets, q);
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);

@@ -154,6 +154,17 @@ class BasicHistogram<false> {
 
 using Histogram = BasicHistogram<kEnabled>;
 
+/// Quantile estimate (q in [0, 1]) from a histogram's sparse
+/// (bucket index, count) pairs under the shared base-2 bucketization:
+/// the answer is the bucket whose cumulative count crosses q of the total,
+/// linearly interpolated across that bucket's [lower, upper) bounds. The
+/// unbounded last bucket yields its lower bound (nothing to interpolate
+/// against). Returns 0.0 for an empty histogram. Exact to within one
+/// bucket's width — the right tool for p50/p95/p99 summary columns, not
+/// for sub-bucket precision claims.
+double HistogramQuantile(
+    const std::vector<std::pair<size_t, uint64_t>>& buckets, double q);
+
 /// Point-in-time copy of one metric, for export.
 struct MetricSample {
   std::string name;
@@ -165,6 +176,9 @@ struct MetricSample {
   /// Non-empty buckets only, as (bucket index, count) pairs.
   std::vector<std::pair<size_t, uint64_t>> histogram_buckets;
 };
+
+/// Convenience overload over a snapshot sample's sparse buckets.
+double HistogramQuantile(const MetricSample& sample, double q);
 
 /// Thread-safe named registry. Lookup (counter/gauge/histogram) takes a
 /// mutex and is meant for setup paths; the returned references are stable

@@ -1,0 +1,306 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "backend/backend.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "util/strings.h"
+
+namespace gva::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// Writes the whole buffer, tolerating short writes. Best effort: a
+/// scraper that hangs up mid-response is its own problem.
+void WriteAll(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t written = ::write(fd, data + off, size - off);
+    if (written <= 0) {
+      return;
+    }
+    off += static_cast<size_t>(written);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
+    const Options& options) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad telemetry bind address '" +
+                                   options.bind_address + "'");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError("telemetry socket(2) failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Status::IoError(StrFormat("cannot bind telemetry port %u on %s",
+                                     static_cast<unsigned>(options.port),
+                                     options.bind_address.c_str()));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::IoError("telemetry listen(2) failed");
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    return Status::IoError("telemetry getsockname(2) failed");
+  }
+  const uint16_t port = ntohs(bound.sin_port);
+
+  int wake[2];
+  if (::pipe(wake) != 0) {
+    ::close(fd);
+    return Status::IoError("telemetry self-pipe failed");
+  }
+
+  return std::unique_ptr<TelemetryServer>(
+      new TelemetryServer(fd, wake[0], wake[1], port));
+}
+
+TelemetryServer::TelemetryServer(int listen_fd, int wake_read_fd,
+                                 int wake_write_fd, uint16_t port)
+    : listen_fd_(listen_fd),
+      wake_read_fd_(wake_read_fd),
+      wake_write_fd_(wake_write_fd),
+      port_(port),
+      started_(std::chrono::steady_clock::now()) {
+  thread_ = std::thread([this] { ServeLoop(); });
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  const char byte = 'q';
+  WriteAll(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+}
+
+void TelemetryServer::ServeLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_read_fd_;
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    // The 250 ms timeout is a belt on top of the self-pipe braces: even a
+    // lost wakeup only delays shutdown by a beat.
+    const int ready = ::poll(fds, 2, 250);
+    if (ready <= 0) {
+      continue;  // timeout or EINTR; re-check the stop flag
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      return;  // Stop() poked the pipe
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void TelemetryServer::ServeConnection(int fd) {
+  // A scraper that connects but never finishes its request line must not
+  // wedge the loop: cap the read wait.
+  timeval timeout;
+  timeout.tv_sec = 2;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  char buf[4096];
+  size_t have = 0;
+  while (have < sizeof(buf) - 1) {
+    const ssize_t n = ::read(fd, buf + have, sizeof(buf) - 1 - have);
+    if (n <= 0) {
+      break;
+    }
+    have += static_cast<size_t>(n);
+    buf[have] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;  // end of request headers
+    }
+  }
+  if (have == 0) {
+    return;
+  }
+  buf[have] = '\0';
+
+  // Parse "<METHOD> <path> HTTP/1.x" — the only line we care about.
+  std::string_view request(buf, have);
+  const size_t line_end = request.find_first_of("\r\n");
+  if (line_end != std::string_view::npos) {
+    request = request.substr(0, line_end);
+  }
+  const size_t method_end = request.find(' ');
+  std::string_view method = "GET";
+  std::string_view path = "/";
+  if (method_end != std::string_view::npos) {
+    method = request.substr(0, method_end);
+    std::string_view rest = request.substr(method_end + 1);
+    const size_t path_end = rest.find(' ');
+    path = path_end == std::string_view::npos ? rest : rest.substr(0, path_end);
+  }
+
+  const Response response = HandleRequest(method, path);
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, StatusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  out += response.body;
+  WriteAll(fd, out.data(), out.size());
+}
+
+TelemetryServer::Response TelemetryServer::HandleRequest(
+    std::string_view method, std::string_view path) {
+  // Strip a query string: Prometheus scrapers may append one.
+  const size_t query = path.find('?');
+  if (query != std::string_view::npos) {
+    path = path.substr(0, query);
+  }
+
+  // Self-metrics re-published on every request: an ObsSession reset wipes
+  // their values, and this is what restores them on the next scrape.
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry& metrics = GlobalMetrics();
+  metrics.counter("telemetry.requests").Add(1);
+  metrics.gauge("telemetry.port").Set(static_cast<int64_t>(port_));
+
+  Response response;
+  if (method != "GET") {
+    response.status = 405;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "telemetry endpoints are GET-only\n";
+    return response;
+  }
+  if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheusText(metrics);
+    return response;
+  }
+  if (path == "/metrics.json") {
+    response.content_type = "application/json";
+    response.body = metrics.ToJson();
+    return response;
+  }
+  if (path == "/healthz") {
+    const uint64_t uptime_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count());
+    const FlightRecorder& recorder = FlightRecorder::Global();
+    response.content_type = "application/json";
+    response.body = StrFormat(
+        "{\"status\": \"ok\", \"backend\": \"%s\", \"obs_enabled\": %s, "
+        "\"uptime_us\": %llu, \"flight_threads\": %zu, "
+        "\"flight_events\": %llu}\n",
+        backend::ActiveBackend().name, kEnabled ? "true" : "false",
+        static_cast<unsigned long long>(uptime_us), recorder.threads_seen(),
+        static_cast<unsigned long long>(recorder.events_recorded()));
+    return response;
+  }
+  if (path == "/flightz") {
+    response.content_type = "application/json";
+    response.body = FlightRecorder::Global().ToJson();
+    return response;
+  }
+  response.status = 404;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body =
+      "not found; try /metrics /metrics.json /healthz /flightz\n";
+  return response;
+}
+
+namespace {
+
+std::mutex g_global_mu;
+std::unique_ptr<TelemetryServer> g_global_server;
+
+}  // namespace
+
+Status StartGlobalTelemetry(const TelemetryServer::Options& options) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_server != nullptr) {
+    return Status::FailedPrecondition("global telemetry already running");
+  }
+  StatusOr<std::unique_ptr<TelemetryServer>> server =
+      TelemetryServer::Start(options);
+  if (!server.ok()) {
+    return server.status();
+  }
+  g_global_server = std::move(server).value();
+  // Join the serving thread on normal exit so no binary needs an explicit
+  // shutdown call (and tsan sees no leaked thread). Registering more than
+  // once is harmless — StopGlobalTelemetry is idempotent.
+  std::atexit(StopGlobalTelemetry);
+  return Status::Ok();
+}
+
+TelemetryServer* GlobalTelemetry() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  return g_global_server.get();
+}
+
+void StopGlobalTelemetry() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global_server.reset();
+}
+
+}  // namespace gva::obs

@@ -1,0 +1,108 @@
+#ifndef GVA_OBS_TELEMETRY_SERVER_H_
+#define GVA_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace gva::obs {
+
+/// Minimal embedded HTTP/1.1 listener for always-on telemetry. One
+/// background thread runs a blocking poll() accept loop and serves
+/// connections serially (scrapers come one Prometheus poll at a time;
+/// this is an exposition endpoint, not a web server). No third-party
+/// dependencies — raw POSIX sockets.
+///
+/// Routes:
+///   /metrics       Prometheus text exposition of GlobalMetrics()
+///   /metrics.json  the registry's native JSON export
+///   /healthz       liveness + backend/uptime snapshot (JSON)
+///   /flightz       the flight recorder's Chrome trace JSON
+///
+/// Every request bumps the `telemetry.requests` counter and re-publishes
+/// the `telemetry.port` gauge, so the server's own series reappear on the
+/// very next scrape after an ObsSession resets the global registry.
+class TelemetryServer {
+ public:
+  struct Options {
+    /// TCP port to listen on; 0 asks the kernel for an ephemeral port
+    /// (read the outcome from port()).
+    uint16_t port = 0;
+    /// Bind address. Loopback by default: telemetry is plaintext and
+    /// unauthenticated, so exposing it beyond the host is an explicit act.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  /// One response, decoupled from the socket so tests can exercise the
+  /// routing table without a live connection.
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+
+  /// Binds, listens, and starts the serving thread. Fails with
+  /// kIoError if the port is taken or the address does not parse.
+  static StatusOr<std::unique_ptr<TelemetryServer>> Start(
+      const Options& options);
+
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Wakes the poll loop, joins the thread, closes the socket. Idempotent.
+  void Stop();
+
+  /// The bound port (the kernel's choice when Options::port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Maps a request to a response — the whole routing table. Unknown
+  /// paths get 404, non-GET methods 405.
+  Response HandleRequest(std::string_view method, std::string_view path);
+
+  /// Requests served since Start (monotonic, independent of the
+  /// resettable `telemetry.requests` metric).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TelemetryServer(int listen_fd, int wake_read_fd, int wake_write_fd,
+                  uint16_t port);
+
+  void ServeLoop();
+  void ServeConnection(int fd);
+
+  const int listen_fd_;
+  const int wake_read_fd_;   ///< self-pipe: poll()ed alongside listen_fd_
+  const int wake_write_fd_;  ///< Stop() writes one byte here
+  const uint16_t port_;
+  const std::chrono::steady_clock::time_point started_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+/// Process-wide server for binaries that take --telemetry-port: starts the
+/// singleton (FailedPrecondition if already running) and registers an
+/// atexit hook that stops it, so the serving thread is joined on normal
+/// exit. Port 0 still works; read it back via GlobalTelemetry()->port().
+Status StartGlobalTelemetry(const TelemetryServer::Options& options);
+
+/// The running global server, or nullptr.
+TelemetryServer* GlobalTelemetry();
+
+/// Stops and destroys the global server. Idempotent, safe without a
+/// prior Start.
+void StopGlobalTelemetry();
+
+}  // namespace gva::obs
+
+#endif  // GVA_OBS_TELEMETRY_SERVER_H_

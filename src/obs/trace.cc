@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace gva::obs {
@@ -19,6 +20,7 @@ void Tracer::Enable() {
     std::lock_guard<std::mutex> lock(mu_);
     events_.clear();
     tids_.clear();
+    open_.clear();
     origin_ = std::chrono::steady_clock::now();
   }
   enabled_.store(true, std::memory_order_relaxed);
@@ -49,24 +51,72 @@ void Tracer::RecordComplete(const char* name, const char* category,
       TraceEvent{name, category, ts_us, dur_us, TidOfCurrentThread()});
 }
 
+void Tracer::BeginOpen(const char* name, const char* category,
+                       uint64_t ts_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TidOfCurrentThread();  // register the tid while we can (calling thread)
+  open_[std::this_thread::get_id()].push_back(OpenSpan{name, category, ts_us});
+}
+
+void Tracer::CompleteOpen(uint64_t end_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(std::this_thread::get_id());
+  if (it == open_.end() || it->second.empty()) {
+    return;
+  }
+  const OpenSpan span = it->second.back();
+  it->second.pop_back();
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    return;  // capture ended while the span was open
+  }
+  const uint64_t dur = end_us >= span.ts_us ? end_us - span.ts_us : 0;
+  events_.push_back(TraceEvent{span.name, span.category, span.ts_us, dur,
+                               TidOfCurrentThread()});
+}
+
 size_t Tracer::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
 }
 
+size_t Tracer::open_span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [tid, stack] : open_) {
+    n += stack.size();
+  }
+  return n;
+}
+
 std::string Tracer::ToJson() const {
+  const uint64_t now_us = NowMicros();
   std::lock_guard<std::mutex> lock(mu_);
   std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  for (size_t i = 0; i < events_.size(); ++i) {
-    const TraceEvent& e = events_[i];
+  bool first = true;
+  auto emit = [&json, &first](const char* name, const char* category, int tid,
+                              uint64_t ts, uint64_t dur) {
     json += StrFormat(
-        "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
-        "\"tid\": %d, \"ts\": %llu, \"dur\": %llu}%s\n",
-        e.name, e.category, e.tid, static_cast<unsigned long long>(e.ts_us),
-        static_cast<unsigned long long>(e.dur_us),
-        i + 1 < events_.size() ? "," : "");
+        "%s  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+        "\"tid\": %d, \"ts\": %llu, \"dur\": %llu}",
+        first ? "" : ",\n", name, category, tid,
+        static_cast<unsigned long long>(ts),
+        static_cast<unsigned long long>(dur));
+    first = false;
+  };
+  for (const TraceEvent& e : events_) {
+    emit(e.name, e.category, e.tid, e.ts_us, e.dur_us);
   }
-  json += "]}\n";
+  // Spans still open at serialization time: synthesize their end at "now"
+  // so a mid-run dump (telemetry scrape, crash) is valid, parseable JSON.
+  for (const auto& [thread_id, stack] : open_) {
+    const auto tid_it = tids_.find(thread_id);
+    const int tid = tid_it == tids_.end() ? 0 : tid_it->second;
+    for (const OpenSpan& span : stack) {
+      emit(span.name, span.category, tid, span.ts_us,
+           now_us >= span.ts_us ? now_us - span.ts_us : 0);
+    }
+  }
+  json += "\n]}\n";
   return json;
 }
 
@@ -88,6 +138,7 @@ void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   tids_.clear();
+  open_.clear();
 }
 
 Tracer& GlobalTracer() {
@@ -105,21 +156,30 @@ void SetStageTimingEnabled(bool enabled) {
 
 ScopedSpan::ScopedSpan(const char* name, const char* category)
     : name_(name), category_(category) {
+  if constexpr (kEnabled) {
+    FlightRecorder::Global().RecordBegin(name, category);
+  }
   tracing_ = GlobalTracer().enabled();
   timing_ = StageTimingEnabled();
   if (tracing_ || timing_) {
     start_us_ = GlobalTracer().NowMicros();
   }
+  if (tracing_) {
+    GlobalTracer().BeginOpen(name_, category_, start_us_);
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
+  if constexpr (kEnabled) {
+    FlightRecorder::Global().RecordEnd(name_);
+  }
   if (!tracing_ && !timing_) {
     return;
   }
   const uint64_t end_us = GlobalTracer().NowMicros();
   const uint64_t dur = end_us >= start_us_ ? end_us - start_us_ : 0;
-  if (tracing_ && GlobalTracer().enabled()) {
-    GlobalTracer().RecordComplete(name_, category_, start_us_, dur);
+  if (tracing_) {
+    GlobalTracer().CompleteOpen(end_us);
   }
   if (timing_) {
     MetricsRegistry& metrics = GlobalMetrics();

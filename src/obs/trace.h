@@ -53,7 +53,21 @@ class Tracer {
   void RecordComplete(const char* name, const char* category, uint64_t ts_us,
                       uint64_t dur_us);
 
+  /// Marks a span as begun (not yet ended) on the calling thread. A later
+  /// CompleteOpen pops it — LIFO, since RAII spans nest. Spans still open
+  /// when ToJson() runs are serialized with their end synthesized at now,
+  /// so a dump taken mid-span is valid JSON instead of losing the span.
+  void BeginOpen(const char* name, const char* category, uint64_t ts_us);
+
+  /// Pops the calling thread's innermost open span and (if the tracer is
+  /// still enabled) records it as complete, ending at `end_us`. No-op when
+  /// the thread has no open span (e.g. Enable() raced the span's start).
+  void CompleteOpen(uint64_t end_us);
+
   size_t event_count() const;
+
+  /// Spans begun but not yet completed, across all threads.
+  size_t open_span_count() const;
 
   /// {"traceEvents": [...], "displayTimeUnit": "ms"} — the Chrome
   /// trace-event JSON object form.
@@ -63,6 +77,12 @@ class Tracer {
   void Clear();
 
  private:
+  struct OpenSpan {
+    const char* name;
+    const char* category;
+    uint64_t ts_us;
+  };
+
   int TidOfCurrentThread();
 
   std::atomic<bool> enabled_{false};
@@ -70,6 +90,8 @@ class Tracer {
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::map<std::thread::id, int> tids_;
+  /// Per-thread stacks of spans whose destructor has not run yet.
+  std::map<std::thread::id, std::vector<OpenSpan>> open_;
 };
 
 /// The process-wide tracer every GVA_OBS_SPAN site records into.
@@ -85,8 +107,9 @@ void SetStageTimingEnabled(bool enabled);
 
 /// RAII span: captures the start time if the global tracer (or stage
 /// timing) is active when constructed, and records on destruction. `name`
-/// and `category` must be string literals (or otherwise outlive the
-/// tracer's capture).
+/// and `category` must be string literals — the tracer's capture and the
+/// always-on flight recorder (obs/recorder.h), which every span also feeds
+/// in obs-enabled builds, both keep the pointers.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, const char* category = "gva");

@@ -15,7 +15,15 @@ size_t ThreadPool::ResolveThreadCount(size_t requested) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : global_queue_depth_(
+          &obs::GlobalMetrics().gauge("threadpool.queue.depth")),
+      global_tasks_submitted_(
+          &obs::GlobalMetrics().counter("threadpool.tasks.submitted")),
+      global_tasks_executed_(
+          &obs::GlobalMetrics().counter("threadpool.tasks.executed")),
+      global_pools_live_(&obs::GlobalMetrics().gauge("threadpool.pools.live")) {
+  global_pools_live_->Add(1);
   const size_t lanes = ResolveThreadCount(num_threads);
   workers_.reserve(lanes - 1);
   for (size_t i = 0; i + 1 < lanes; ++i) {
@@ -32,6 +40,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) {
     worker.join();
   }
+  global_pools_live_->Add(-1);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -45,9 +54,11 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      global_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
     RunTimed(task);
     tasks_executed_.Add();
+    global_tasks_executed_->Add();
   }
 }
 
@@ -58,6 +69,7 @@ std::function<void()> ThreadPool::TryPop() {
   }
   std::function<void()> task = std::move(queue_.front());
   queue_.pop_front();
+  global_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   return task;
 }
 
@@ -126,7 +138,9 @@ void ThreadPool::ParallelFor(
       });
     }
     tasks_submitted_.Add(chunks - 1);
+    global_tasks_submitted_->Add(chunks - 1);
     max_queue_depth_.RaiseTo(static_cast<int64_t>(queue_.size()));
+    global_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   }
   wake_.notify_all();
 
@@ -154,6 +168,7 @@ void ThreadPool::ParallelFor(
     if (std::function<void()> task = TryPop()) {
       RunTimed(task);
       tasks_stolen_.Add();
+      global_tasks_executed_->Add();  // a queued task ran, whoever ran it
       continue;
     }
     std::unique_lock<std::mutex> done_lock(done_mu);

@@ -116,6 +116,17 @@ class ThreadPool {
   obs::Counter tasks_inline_;
   obs::Gauge max_queue_depth_;
   obs::Counter task_us_;
+
+  // Live GlobalMetrics() handles (resolved once in the constructor), so a
+  // telemetry scrape sees `threadpool.*` series move *while* a search
+  // runs — ExportStats only lands when a pool user decides to flush.
+  // Several pools share these: counters accumulate across pools and
+  // `threadpool.queue.depth` is last-write-wins, which is the honest
+  // reading for "what is the queue doing right now".
+  obs::Gauge* global_queue_depth_;
+  obs::Counter* global_tasks_submitted_;
+  obs::Counter* global_tasks_executed_;
+  obs::Gauge* global_pools_live_;
 };
 
 }  // namespace gva

@@ -198,13 +198,19 @@ std::string MetricsSummaryTable(
                            static_cast<long long>(s->gauge_value));
           break;
         case obs::MetricSample::Kind::kHistogram:
+          // Percentiles from the shared base-2 buckets: exact to within a
+          // bucket, which beats eyeballing a raw bucket dump.
           out << StrFormat(
-              "%-40s count=%s mean=%.4f\n", s->name.c_str(),
+              "%-40s count=%s mean=%.4f p50=%.1f p95=%.1f p99=%.1f\n",
+              s->name.c_str(),
               FormatWithThousands(s->histogram_count).c_str(),
               s->histogram_count > 0
                   ? s->histogram_sum /
                         static_cast<double>(s->histogram_count)
-                  : 0.0);
+                  : 0.0,
+              obs::HistogramQuantile(*s, 0.50),
+              obs::HistogramQuantile(*s, 0.95),
+              obs::HistogramQuantile(*s, 0.99));
           break;
       }
     }

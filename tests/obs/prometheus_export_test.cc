@@ -1,0 +1,162 @@
+#include "obs/export.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace gva {
+namespace {
+
+using obs::MetricSample;
+
+MetricSample Counter(const std::string& name, uint64_t value) {
+  MetricSample s;
+  s.name = name;
+  s.kind = MetricSample::Kind::kCounter;
+  s.counter_value = value;
+  return s;
+}
+
+MetricSample GaugeSample(const std::string& name, int64_t value) {
+  MetricSample s;
+  s.name = name;
+  s.kind = MetricSample::Kind::kGauge;
+  s.gauge_value = value;
+  return s;
+}
+
+TEST(PrometheusNameTest, DotsBecomeUnderscoresWithPrefix) {
+  EXPECT_EQ(obs::PrometheusSeriesName("stream.samples",
+                                      MetricSample::Kind::kCounter),
+            "gva_stream_samples_total");
+  EXPECT_EQ(obs::PrometheusSeriesName("threadpool.queue.depth",
+                                      MetricSample::Kind::kGauge),
+            "gva_threadpool_queue_depth");
+}
+
+TEST(PrometheusNameTest, MicrosecondSuffixIsSpelledOut) {
+  EXPECT_EQ(obs::PrometheusSeriesName("stream.last_report.us",
+                                      MetricSample::Kind::kGauge),
+            "gva_stream_last_report_microseconds");
+  EXPECT_EQ(obs::PrometheusSeriesName("stage.sax.us",
+                                      MetricSample::Kind::kCounter),
+            "gva_stage_sax_microseconds_total");
+}
+
+TEST(PrometheusNameTest, InvalidCharactersAreEscaped) {
+  EXPECT_EQ(
+      obs::PrometheusSeriesName("weird name-with:chars",
+                                MetricSample::Kind::kGauge),
+      "gva_weird_name_with_chars");
+}
+
+// The exact exposition text is a wire contract with scrapers — pin it
+// character for character so a formatting drift is a loud test failure,
+// not a silently broken dashboard.
+TEST(PrometheusRenderTest, GoldenText) {
+  MetricSample histogram;
+  histogram.name = "stream.report.latency.us";
+  histogram.kind = MetricSample::Kind::kHistogram;
+  histogram.histogram_count = 4;
+  histogram.histogram_sum = 22.0;
+  // One value < 1, two in [2,4), one in the unbounded last bucket.
+  histogram.histogram_buckets = {
+      {0, 1}, {2, 2}, {obs::kHistogramBuckets - 1, 1}};
+
+  const std::string text = obs::RenderPrometheusText(
+      {Counter("stream.samples", 1200), GaugeSample("telemetry.port", 9090),
+       histogram});
+
+  const std::string expected =
+      "# HELP gva_stream_samples_total gva metric stream.samples\n"
+      "# TYPE gva_stream_samples_total counter\n"
+      "gva_stream_samples_total 1200\n"
+      "# HELP gva_telemetry_port gva metric telemetry.port\n"
+      "# TYPE gva_telemetry_port gauge\n"
+      "gva_telemetry_port 9090\n"
+      "# HELP gva_stream_report_latency_microseconds gva metric "
+      "stream.report.latency.us\n"
+      "# TYPE gva_stream_report_latency_microseconds histogram\n"
+      "gva_stream_report_latency_microseconds_bucket{le=\"1\"} 1\n"
+      "gva_stream_report_latency_microseconds_bucket{le=\"2\"} 1\n"
+      "gva_stream_report_latency_microseconds_bucket{le=\"4\"} 3\n"
+      "gva_stream_report_latency_microseconds_bucket{le=\"+Inf\"} 4\n"
+      "gva_stream_report_latency_microseconds_sum 22.000000\n"
+      "gva_stream_report_latency_microseconds_count 4\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(PrometheusRenderTest, EmptyHistogramStillEmitsInfAndCount) {
+  MetricSample histogram;
+  histogram.name = "empty.us";
+  histogram.kind = MetricSample::Kind::kHistogram;
+  const std::string text = obs::RenderPrometheusText({histogram});
+  EXPECT_NE(text.find("gva_empty_microseconds_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gva_empty_microseconds_count 0\n"), std::string::npos);
+}
+
+TEST(PrometheusRenderTest, RegistryOverloadRendersLiveMetrics) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "metrics disabled in this build";
+  }
+  obs::MetricsRegistry registry;
+  registry.counter("a.count").Add(7);
+  registry.gauge("b.depth").Set(-3);
+  const std::string text = obs::RenderPrometheusText(registry);
+  EXPECT_NE(text.find("gva_a_count_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("gva_b_depth -3\n"), std::string::npos);
+}
+
+TEST(HistogramQuantileTest, EmptyReturnsZero) {
+  const std::vector<std::pair<size_t, uint64_t>> empty;
+  EXPECT_EQ(obs::HistogramQuantile(empty, 0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleBucketInterpolatesAcrossBounds) {
+  // 10 samples, all in bucket 3 = [4, 8).
+  const std::vector<std::pair<size_t, uint64_t>> buckets = {{3, 10}};
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(buckets, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(buckets, 0.5), 6.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(buckets, 1.0), 8.0);
+}
+
+TEST(HistogramQuantileTest, CrossesBucketsAtCumulativeMass) {
+  // 90 samples in [1,2), 10 in [8,16): p50 inside the first bucket,
+  // p95 halfway into the second's mass.
+  const std::vector<std::pair<size_t, uint64_t>> buckets = {{1, 90}, {4, 10}};
+  const double p50 = obs::HistogramQuantile(buckets, 0.50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LT(p50, 2.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(buckets, 0.95), 12.0);
+}
+
+TEST(HistogramQuantileTest, UnboundedTailYieldsLowerBound) {
+  const std::vector<std::pair<size_t, uint64_t>> buckets = {
+      {obs::kHistogramBuckets - 1, 5}};
+  const double lower =
+      obs::HistogramBucketBounds(obs::kHistogramBuckets - 1).first;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(buckets, 0.99), lower);
+}
+
+TEST(HistogramQuantileTest, MatchesLiveHistogramSample) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "metrics disabled in this build";
+  }
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("t.us");
+  for (int i = 0; i < 100; ++i) {
+    h.Record(3.0);  // bucket [2, 4)
+  }
+  const std::vector<obs::MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  const double p50 = obs::HistogramQuantile(samples[0], 0.5);
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LE(p50, 4.0);
+}
+
+}  // namespace
+}  // namespace gva

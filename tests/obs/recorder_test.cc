@@ -1,0 +1,307 @@
+#include "obs/recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace gva {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Minimal recursive-descent JSON validator — enough to prove a dump is
+/// well-formed without a JSON library. Numbers, strings (no escapes needed
+/// here), bools, null, arrays, objects.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// The recorder is a process-wide singleton with monotonic rings, so the
+// tests assert on deltas and on the *presence* of their own uniquely named
+// spans rather than on a pristine global state.
+
+TEST(FlightRecorderTest, BeginEndBecomesCompleteEvent) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  recorder.RecordBegin("flight_test.pair", "test");
+  recorder.RecordEnd("flight_test.pair");
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"name\": \"flight_test.pair\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, OpenSpanIsSynthesizedAtDumpTime) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  recorder.RecordBegin("flight_test.open", "test");
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  // The begin had no end, yet it shows up as a complete event.
+  EXPECT_GE(CountOccurrences(json, "\"name\": \"flight_test.open\""), 1u);
+  recorder.RecordEnd("flight_test.open");  // restore balance for later tests
+}
+
+TEST(FlightRecorderTest, EventsRecordedAdvancesAndRingBounds) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const uint64_t before = recorder.events_recorded();
+  // Overfill this thread's ring: only the newest ~kFlightSlotsPerThread
+  // events survive, but the monotonic counter sees every write.
+  const size_t spans = obs::kFlightSlotsPerThread;
+  for (size_t i = 0; i < spans; ++i) {
+    recorder.RecordBegin("flight_test.wrap", "test");
+    recorder.RecordEnd("flight_test.wrap");
+  }
+  EXPECT_EQ(recorder.events_recorded() - before, 2 * spans);
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid());
+  const size_t emitted = CountOccurrences(json, "\"flight_test.wrap\"");
+  EXPECT_GE(emitted, 1u);
+  EXPECT_LE(emitted, obs::kFlightSlotsPerThread);
+}
+
+TEST(FlightRecorderTest, EachThreadGetsItsOwnTrack) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const size_t threads_before = recorder.threads_seen();
+  std::thread worker([&recorder] {
+    recorder.RecordBegin("flight_test.worker", "test");
+    recorder.RecordEnd("flight_test.worker");
+  });
+  worker.join();
+  EXPECT_GE(recorder.threads_seen(), threads_before + 1);
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"flight_test.worker\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordAndDumpStaysWellFormed) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        recorder.RecordBegin("flight_test.storm", "test");
+        recorder.RecordEnd("flight_test.storm");
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    const std::string json = recorder.ToJson();
+    ASSERT_TRUE(JsonValidator(json).Valid());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : writers) {
+    w.join();
+  }
+}
+
+TEST(FlightRecorderTest, DumpToFdMatchesToJsonShape) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  recorder.RecordBegin("flight_test.fd", "test");
+  recorder.RecordEnd("flight_test.fd");
+  const std::string path = ::testing::TempDir() + "gva_flight_fd_test.json";
+  std::remove(path.c_str());
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  recorder.DumpToFd(fd);
+  ::close(fd);
+  const std::string json = ReadFileOrEmpty(path);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"flight_test.fd\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, WriteJsonWritesTheSameDocument) {
+  const std::string path = ::testing::TempDir() + "gva_flight_wj_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::FlightRecorder::Global().WriteJson(path).ok());
+  EXPECT_TRUE(JsonValidator(ReadFileOrEmpty(path)).Valid());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ScopedSpanFeedsTheRecorderEvenWithTracerOff) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability disabled in this build";
+  }
+  ASSERT_FALSE(obs::GlobalTracer().enabled());
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const uint64_t before = recorder.events_recorded();
+  {
+    GVA_OBS_SPAN("flight_test.alwayson");
+  }
+  EXPECT_EQ(recorder.events_recorded() - before, 2u);
+  EXPECT_NE(recorder.ToJson().find("\"flight_test.alwayson\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gva

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -102,6 +103,41 @@ TEST(ScopedSpanTest, NestedSpansAreContainedIntervals) {
   ASSERT_NE(inner_at, std::string::npos);
   ASSERT_NE(outer_at, std::string::npos);
   EXPECT_LT(inner_at, outer_at);
+}
+
+TEST(TracerTest, OpenSpanIsSynthesizedInJsonAtDumpTime) {
+  GlobalTraceCapture capture;
+  auto span = std::make_unique<ScopedSpan>("still.open");
+  if constexpr (!kEnabled) {
+    return;  // spans compile to nothing with GVA_OBS=OFF
+  }
+  // Dump while the span's destructor has not run: it must appear as a
+  // complete event with a synthesized end, and the JSON must stay valid
+  // (no dangling comma, balanced brackets).
+  ASSERT_EQ(GlobalTracer().event_count(), 0u);
+  EXPECT_EQ(GlobalTracer().open_span_count(), 1u);
+  const std::string json = GlobalTracer().ToJson();
+  EXPECT_NE(json.find("\"name\": \"still.open\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(json.find(",\n]"), std::string::npos);
+  EXPECT_NE(json.find("]}"), std::string::npos);
+
+  // Ending the span afterwards records it exactly once.
+  span.reset();
+  EXPECT_EQ(GlobalTracer().open_span_count(), 0u);
+  EXPECT_EQ(GlobalTracer().event_count(), 1u);
+}
+
+TEST(TracerTest, SpanCrossingDisableIsDroppedNotLeaked) {
+  GlobalTracer().Enable();
+  auto span = std::make_unique<ScopedSpan>("crosses.disable");
+  GlobalTracer().Disable();
+  span.reset();  // CompleteOpen pops the stack but must not record
+  if constexpr (kEnabled) {
+    EXPECT_EQ(GlobalTracer().open_span_count(), 0u);
+    EXPECT_EQ(GlobalTracer().event_count(), 0u);
+  }
+  GlobalTracer().Clear();
 }
 
 TEST(ScopedSpanTest, PoolChunksRecordPerThreadSpans) {

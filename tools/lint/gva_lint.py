@@ -61,6 +61,16 @@ simd-intrinsics      vector-intrinsic headers (immintrin.h, arm_neon.h, ...)
                      capability gate (SIGILL on older hardware), dodges the
                      per-file -mavx2 isolation, and is invisible to the
                      backend differential suite.
+signal-safety        allocation (malloc/new/std::string/containers), stdio
+                     (printf/fopen/iostream), or locks (std::mutex,
+                     lock_guard, condition_variable) inside a function whose
+                     name contains "SignalHandler". Such functions run in
+                     async-signal context (the flight recorder's fatal-signal
+                     dump, DESIGN.md §12): only async-signal-safe syscalls
+                     (write/open/close/raise) and hand-rolled formatting are
+                     legal — a malloc inside a handler that interrupted
+                     malloc deadlocks, and iostream locks are not
+                     reentrant.
 """
 
 from __future__ import annotations
@@ -413,6 +423,86 @@ def check_simd_intrinsics(path: str, rel: str,
     return findings
 
 
+# --- rule: signal-safety ------------------------------------------------------
+
+# A definition (not a call) of a function whose name contains
+# "SignalHandler": a return type token, then the name, then an argument
+# list. Calls (`obs::InstallFlightSignalHandler();`) have no type token
+# before the name and do not match; whether the match is a definition or
+# a mere declaration is decided later by which of `{` / `;` comes first.
+SIGNAL_DEF_RE = re.compile(
+    r"^\s*(?:static\s+|inline\s+|extern\s+)*[\w:]+(?:<[^>]*>)?[\s*&]+"
+    r"((?:\w+::)*\w*SignalHandler\w*)\s*\(")
+
+SIGNAL_UNSAFE_PATTERNS = [
+    (re.compile(r"(?<![\w.:])(?:std::)?(?:malloc|calloc|realloc|free)\s*\("),
+     "heap allocation"),
+    (re.compile(r"(?<![\w:])new\s+[\w:(<]"), "operator new"),
+    (re.compile(r"(?<![\w:])delete\b"), "operator delete"),
+    (re.compile(
+        r"std::(?:string|vector|deque|list|map|set|unordered_map|"
+        r"unordered_set|basic_string|i?o?stringstream|function)\b"),
+     "allocating std type"),
+    (re.compile(
+        r"(?<![\w.:])(?:std::)?(?:printf|fprintf|sprintf|snprintf|"
+        r"vsnprintf|puts|fputs|putchar|fwrite|fread|fopen|fclose|"
+        r"fflush)\s*\("),
+     "stdio call"),
+    (re.compile(r"std::(?:cout|cerr|clog|endl)\b"), "iostream"),
+    (re.compile(
+        r"std::(?:recursive_mutex|shared_mutex|mutex|lock_guard|"
+        r"unique_lock|scoped_lock|shared_lock|condition_variable)\b"),
+     "lock primitive"),
+]
+
+
+def check_signal_safety(path: str, rel: str,
+                        lines: list[str]) -> list[Finding]:
+    if not rel.startswith(("src/", "examples/")):
+        return []
+    findings = []
+    name = None  # handler whose signature or body we are inside
+    in_body = False  # False while the signature awaits its `{` or `;`
+    depth = 0
+    for i, raw in enumerate(lines, 1):
+        code = strip_strings_and_comments(raw)
+        rest = code
+        if name is None:
+            m = SIGNAL_DEF_RE.search(code)
+            if not m:
+                continue
+            name = m.group(1)
+            in_body = False
+            rest = code[m.end():]
+        if not in_body:
+            brace = rest.find("{")
+            semi = rest.find(";")
+            if semi != -1 and (brace == -1 or semi < brace):
+                name = None  # declaration only, no body to check
+                continue
+            if brace == -1:
+                continue  # signature spans lines; keep waiting
+            in_body = True
+            depth = 0
+            rest = rest[brace:]
+        depth += rest.count("{") - rest.count("}")
+        if "signal-safety" not in allowed_rules(raw):
+            for pattern, label in SIGNAL_UNSAFE_PATTERNS:
+                if pattern.search(code):
+                    findings.append(Finding(
+                        rel, i, "signal-safety",
+                        f"{label} inside signal handler {name}(): the "
+                        "fatal-signal flight dump (DESIGN.md §12) runs in "
+                        "async-signal context, where only write/open/close/"
+                        "raise and hand-rolled formatting are legal — an "
+                        "allocation that interrupted malloc deadlocks, and "
+                        "stdio/iostream locks are not reentrant"))
+                    break  # one finding per line is enough
+        if depth <= 0:
+            name = None
+    return findings
+
+
 # --- driver -------------------------------------------------------------------
 
 ALL_RULES = {
@@ -424,6 +514,7 @@ ALL_RULES = {
     "include-self-first": check_include_self_first,
     "include-bits": check_include_bits,
     "simd-intrinsics": check_simd_intrinsics,
+    "signal-safety": check_signal_safety,
 }
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")

@@ -221,6 +221,69 @@ class SimdIntrinsicsRule(unittest.TestCase):
                 f"{rel} must dispatch through backend::ActiveBackend()")
 
 
+class SignalSafetyRule(unittest.TestCase):
+    """Allocation, stdio, or locks inside a *SignalHandler* function: the
+    flight recorder's fatal-signal dump runs in async-signal context where
+    only write/open/close/raise are legal."""
+
+    def test_alloc_stdio_and_lock_fire(self) -> None:
+        findings = findings_for("src/obs/bad_signal_handler.cc")
+        self.assertEqual(rules_of(findings), ["signal-safety"] * 4)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn("allocating std type", messages)
+        self.assertIn("stdio call", messages)
+        self.assertIn("heap allocation", messages)
+        self.assertIn("lock primitive", messages)
+        for f in findings:
+            self.assertIn("CrashSignalHandler", f.message)
+
+    def test_safe_suppressed_and_non_handler_do_not_fire(self) -> None:
+        findings = findings_for("src/obs/bad_signal_handler.cc")
+        flagged_lines = {f.line for f in findings}
+        full = os.path.join(TESTDATA, "src/obs/bad_signal_handler.cc")
+        lines = open(full, encoding="utf-8").read().splitlines()
+        in_crash = False
+        for i, line in enumerate(lines, 1):
+            if "CrashSignalHandler" in line:
+                in_crash = True
+            elif line.startswith("void "):
+                in_crash = False
+            if not in_crash:
+                self.assertNotIn(i, flagged_lines,
+                                 f"line {i} flagged outside the bad handler")
+
+    def test_tests_tree_is_exempt(self) -> None:
+        full = os.path.join(TESTDATA, "src/obs/bad_signal_handler.cc")
+        lines = open(full, encoding="utf-8").read().splitlines()
+        self.assertEqual(
+            gva_lint.check_signal_safety(
+                full, "tests/obs/bad_signal_handler.cc", lines),
+            [])
+
+    def test_real_flight_handler_is_clean(self) -> None:
+        # The regression pin for src/obs/recorder.cc: its fatal-signal
+        # handler promises (in a comment) that this rule machine-checks it.
+        root = os.path.normpath(os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+        rel = "src/obs/recorder.cc"
+        full = os.path.join(root, rel)
+        lines = open(full, encoding="utf-8").read().splitlines()
+        self.assertEqual(gva_lint.check_signal_safety(full, rel, lines), [],
+                         "the flight-dump signal handler must stay "
+                         "async-signal-safe")
+        # And the rule genuinely watches that file: seeding a printf into
+        # the handler body is caught.
+        seeded = []
+        for line in lines:
+            seeded.append(line)
+            if "void FlightSignalHandler(int signum) {" in line:
+                seeded.append('  std::printf("crash\\n");')
+        self.assertEqual(
+            [f.rule for f in gva_lint.check_signal_safety(
+                full, rel, seeded)],
+            ["signal-safety"])
+
+
 class CleanFixture(unittest.TestCase):
     def test_clean_pair_has_no_findings(self) -> None:
         self.assertEqual(findings_for("src/ensemble/clean.cc"), [])
@@ -256,6 +319,7 @@ class DriverBehaviour(unittest.TestCase):
             "include-self-first": 1,
             "include-bits": 1,
             "simd-intrinsics": 6,
+            "signal-safety": 4,
         })
 
 

@@ -1,0 +1,50 @@
+// Fixture: allocation, stdio, and locks inside a function whose name
+// contains "SignalHandler" must be flagged — the flight recorder's
+// fatal-signal dump (src/obs/recorder.cc) runs in async-signal context
+// where only write/open/close/raise are legal. Expected findings: 4.
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace gva {
+
+void CrashSignalHandler(int signum) {
+  std::string path = "gva_flight.json";  // finding: allocating std type
+  std::printf("caught %d\n", signum);    // finding: stdio call
+  void* scratch = std::malloc(64);       // finding: heap allocation
+  std::mutex dump_mu;                    // finding: lock primitive
+  (void)scratch;  // never freed: the process is about to die anyway
+  (void)path;
+  (void)dump_mu;
+}
+
+void SafeSignalHandler(int signum) {
+  // write(2) with a preformatted buffer is the only legal output path.
+  const char message[] = "fatal signal\n";
+  long n = 0;
+  for (const char c : message) {
+    n += c;  // stand-in for a hand-rolled ::write loop
+  }
+  (void)signum;
+  (void)n;
+}
+
+void SuppressedSignalHandler(int signum) {
+  // Documented: this handler is only installed in debugging builds that
+  // accept the deadlock risk in exchange for a readable crash banner.
+  std::printf("signal %d\n", signum);  // gva-lint: allow(signal-safety)
+}
+
+// Not a handler: the name does not contain "SignalHandler", so stdio and
+// allocation here are out of this rule's scope.
+void FormatCrashBanner() {
+  std::string banner = "crash";
+  std::printf("%s\n", banner.c_str());
+}
+
+// Declaration only — no body to scan.
+void ForwardDeclaredSignalHandler(int signum);
+
+}  // namespace gva
