@@ -126,7 +126,8 @@ struct RoundProgress {
 /// yields the same round winner for every thread count.
 bool FindBestDiscord(const SubsequenceDistance& dist, const SearchState& state,
                      const std::vector<char>& excluded, bool normalize,
-                     bool exact_nn, size_t refine_delta, ThreadPool& pool,
+                     bool exact_nn, size_t refine_delta,
+                     const std::atomic<bool>* cancel, ThreadPool& pool,
                      NnCache& cache, obs::BestSoFarLog& trajectory,
                      RoundProgress* progress, DiscordRecord* best) {
   GVA_OBS_SPAN("search.rra.round");
@@ -165,6 +166,12 @@ bool FindBestDiscord(const SubsequenceDistance& dist, const SearchState& state,
     RoundProgress tally;
     std::vector<CacheUpdate>& updates = chunk_updates[chunk];
     for (size_t oi = chunk_begin; oi < chunk_end; ++oi) {
+      // Cancellation poll, one relaxed load per outer candidate: a
+      // cancelled job must free its slot mid-search, not after the round
+      // drains (a single candidate's inner scan is the latency bound).
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        break;
+      }
       const size_t ci = state.outer_order[oi];
       if (excluded[ci] || cache.exact[ci]) {
         continue;
@@ -350,9 +357,17 @@ StatusOr<DiscordResult> FindRraDiscordsInDecomposition(
     // the quantization introduced by numerosity reduction.
     const size_t refine_delta = std::max<size_t>(
         2, options.sax.window / std::max<size_t>(1, 2 * options.sax.paa_size));
-    if (!FindBestDiscord(dist, state, excluded, options.normalize_by_length,
-                         options.exact_nearest_neighbor, refine_delta, pool,
-                         cache, trajectory, &progress, &best)) {
+    const bool found = FindBestDiscord(
+        dist, state, excluded, options.normalize_by_length,
+        options.exact_nearest_neighbor, refine_delta, options.cancel, pool,
+        cache, trajectory, &progress, &best);
+    // A cancelled round may have skipped candidates, so whatever it
+    // reported is not trustworthy: the whole search fails as Cancelled.
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("rra search cancelled");
+    }
+    if (!found) {
       break;
     }
     result.discords.push_back(best);

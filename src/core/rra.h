@@ -1,6 +1,7 @@
 #ifndef GVA_CORE_RRA_H_
 #define GVA_CORE_RRA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -50,6 +51,14 @@ struct RraOptions {
   /// distance-call count varies, because cross-thread pruning cuts losing
   /// scans at different points.
   size_t num_threads = 1;
+  /// Optional cooperative-cancellation token (owned by the caller, e.g.
+  /// the server's JobRunner — DESIGN.md §13). The search polls it between
+  /// outer candidates and between top-k rounds; once it reads true the
+  /// search returns Status::Cancelled promptly instead of a result. Null
+  /// (the default) compiles to the exact pre-existing behaviour — the
+  /// flag is never set mid-run in deterministic contexts, so the
+  /// bit-identical-results contract is unaffected.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Full RRA output: the grammar decomposition plus the ranked discords and

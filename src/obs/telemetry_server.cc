@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "backend/backend.h"
+#include "net/http.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -20,35 +21,59 @@
 
 namespace gva::obs {
 
-namespace {
-
-const char* StatusText(int status) {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    default:
-      return "Internal Server Error";
+bool HandleTelemetryRoute(std::string_view method, std::string_view path,
+                          std::chrono::steady_clock::time_point started,
+                          const std::vector<std::string>& healthz_extra,
+                          net::HttpResponse* response) {
+  const bool is_route = path == "/metrics" || path == "/metrics.json" ||
+                        path == "/healthz" || path == "/flightz";
+  if (!is_route) {
+    return false;
   }
-}
-
-/// Writes the whole buffer, tolerating short writes. Best effort: a
-/// scraper that hangs up mid-response is its own problem.
-void WriteAll(int fd, const char* data, size_t size) {
-  size_t off = 0;
-  while (off < size) {
-    const ssize_t written = ::write(fd, data + off, size - off);
-    if (written <= 0) {
-      return;
+  if (method != "GET") {
+    response->status = 405;
+    response->content_type = "text/plain; charset=utf-8";
+    response->body = "telemetry endpoints are GET-only\n";
+    return true;
+  }
+  MetricsRegistry& metrics = GlobalMetrics();
+  if (path == "/metrics") {
+    response->content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response->body = RenderPrometheusText(metrics);
+    return true;
+  }
+  if (path == "/metrics.json") {
+    response->content_type = "application/json";
+    response->body = metrics.ToJson();
+    return true;
+  }
+  if (path == "/healthz") {
+    const uint64_t uptime_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+    const FlightRecorder& recorder = FlightRecorder::Global();
+    std::string body = StrFormat(
+        "{\"status\": \"ok\", \"backend\": \"%s\", \"obs_enabled\": %s, "
+        "\"uptime_us\": %llu, \"flight_threads\": %zu, "
+        "\"flight_events\": %llu",
+        backend::ActiveBackend().name, kEnabled ? "true" : "false",
+        static_cast<unsigned long long>(uptime_us), recorder.threads_seen(),
+        static_cast<unsigned long long>(recorder.events_recorded()));
+    for (const std::string& field : healthz_extra) {
+      body += ", ";
+      body += field;
     }
-    off += static_cast<size_t>(written);
+    body += "}\n";
+    response->content_type = "application/json";
+    response->body = std::move(body);
+    return true;
   }
+  // path == "/flightz"
+  response->content_type = "application/json";
+  response->body = FlightRecorder::Global().ToJson();
+  return true;
 }
-
-}  // namespace
 
 StatusOr<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
     const Options& options) {
@@ -115,8 +140,7 @@ void TelemetryServer::Stop() {
   if (stopping_.exchange(true)) {
     return;
   }
-  const char byte = 'q';
-  WriteAll(wake_write_fd_, &byte, 1);
+  net::SendAll(wake_write_fd_, "q");
   if (thread_.joinable()) {
     thread_.join();
   }
@@ -156,65 +180,46 @@ void TelemetryServer::ServeLoop() {
 }
 
 void TelemetryServer::ServeConnection(int fd) {
-  // A scraper that connects but never finishes its request line must not
-  // wedge the loop: cap the read wait.
+  // A scraper that connects but never finishes its request must not wedge
+  // the loop: cap the read wait.
   timeval timeout;
   timeout.tv_sec = 2;
   timeout.tv_usec = 0;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 
+  // Scrapes are bodyless GETs; cap what a confused client can buffer here.
+  net::HttpParser::Limits limits;
+  limits.max_body_bytes = 4 * 1024;
+  net::HttpParser parser(limits);
   char buf[4096];
-  size_t have = 0;
-  while (have < sizeof(buf) - 1) {
-    const ssize_t n = ::read(fd, buf + have, sizeof(buf) - 1 - have);
+  net::HttpParser::State state = net::HttpParser::State::kNeedMore;
+  while (state == net::HttpParser::State::kNeedMore) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n <= 0) {
-      break;
+      return;  // timeout, reset, or EOF before a full request
     }
-    have += static_cast<size_t>(n);
-    buf[have] = '\0';
-    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
-        std::strstr(buf, "\n\n") != nullptr) {
-      break;  // end of request headers
-    }
+    parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    state = parser.Parse();
   }
-  if (have == 0) {
+  if (state == net::HttpParser::State::kError) {
+    net::HttpResponse error;
+    error.status = parser.error_status();
+    error.body = parser.error_reason() + "\n";
+    net::SendAll(fd, net::SerializeResponse(error));
     return;
   }
-  buf[have] = '\0';
-
-  // Parse "<METHOD> <path> HTTP/1.x" — the only line we care about.
-  std::string_view request(buf, have);
-  const size_t line_end = request.find_first_of("\r\n");
-  if (line_end != std::string_view::npos) {
-    request = request.substr(0, line_end);
-  }
-  const size_t method_end = request.find(' ');
-  std::string_view method = "GET";
-  std::string_view path = "/";
-  if (method_end != std::string_view::npos) {
-    method = request.substr(0, method_end);
-    std::string_view rest = request.substr(method_end + 1);
-    const size_t path_end = rest.find(' ');
-    path = path_end == std::string_view::npos ? rest : rest.substr(0, path_end);
-  }
-
-  const Response response = HandleRequest(method, path);
-  std::string out = StrFormat(
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
-      response.status, StatusText(response.status),
-      response.content_type.c_str(), response.body.size());
-  out += response.body;
-  WriteAll(fd, out.data(), out.size());
+  const net::HttpResponse response =
+      HandleRequest(parser.request().method, parser.request().path);
+  net::SendAll(fd, net::SerializeResponse(response));
 }
 
-TelemetryServer::Response TelemetryServer::HandleRequest(
-    std::string_view method, std::string_view path) {
-  // Strip a query string: Prometheus scrapers may append one.
-  const size_t query = path.find('?');
-  if (query != std::string_view::npos) {
-    path = path.substr(0, query);
-  }
+net::HttpResponse TelemetryServer::HandleRequest(std::string_view method,
+                                                 std::string_view path) {
+  // Direct callers may pass a raw target; the socket path already arrives
+  // normalized from the parser. Normalizing twice is a no-op.
+  std::string normalized_path;
+  std::string query;
+  net::NormalizeTarget(path, &normalized_path, &query);
 
   // Self-metrics re-published on every request: an ObsSession reset wipes
   // their values, and this is what restores them on the next scrape.
@@ -223,42 +228,8 @@ TelemetryServer::Response TelemetryServer::HandleRequest(
   metrics.counter("telemetry.requests").Add(1);
   metrics.gauge("telemetry.port").Set(static_cast<int64_t>(port_));
 
-  Response response;
-  if (method != "GET") {
-    response.status = 405;
-    response.content_type = "text/plain; charset=utf-8";
-    response.body = "telemetry endpoints are GET-only\n";
-    return response;
-  }
-  if (path == "/metrics") {
-    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    response.body = RenderPrometheusText(metrics);
-    return response;
-  }
-  if (path == "/metrics.json") {
-    response.content_type = "application/json";
-    response.body = metrics.ToJson();
-    return response;
-  }
-  if (path == "/healthz") {
-    const uint64_t uptime_us = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - started_)
-            .count());
-    const FlightRecorder& recorder = FlightRecorder::Global();
-    response.content_type = "application/json";
-    response.body = StrFormat(
-        "{\"status\": \"ok\", \"backend\": \"%s\", \"obs_enabled\": %s, "
-        "\"uptime_us\": %llu, \"flight_threads\": %zu, "
-        "\"flight_events\": %llu}\n",
-        backend::ActiveBackend().name, kEnabled ? "true" : "false",
-        static_cast<unsigned long long>(uptime_us), recorder.threads_seen(),
-        static_cast<unsigned long long>(recorder.events_recorded()));
-    return response;
-  }
-  if (path == "/flightz") {
-    response.content_type = "application/json";
-    response.body = FlightRecorder::Global().ToJson();
+  net::HttpResponse response;
+  if (HandleTelemetryRoute(method, normalized_path, started_, {}, &response)) {
     return response;
   }
   response.status = 404;

@@ -8,11 +8,33 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
+#include "net/http.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
 namespace gva::obs {
+
+/// The four always-on telemetry routes, shared by every daemon that mounts
+/// them (the embedded TelemetryServer and gva_serverd serve the same
+/// surface from one implementation):
+///
+///   /metrics       Prometheus text exposition of GlobalMetrics()
+///   /metrics.json  the registry's native JSON export
+///   /healthz       liveness + backend/uptime snapshot (JSON)
+///   /flightz       the flight recorder's Chrome trace JSON
+///
+/// Returns true when `path` (already normalized — query string stripped by
+/// the net::HttpParser) names one of them, with `response` filled in;
+/// non-GET methods on a telemetry route get 405. `healthz_extra` appends
+/// caller-supplied `"key": value` JSON fragments to the /healthz body —
+/// gva_serverd reports its slot/queue state there. `started` anchors the
+/// uptime field.
+bool HandleTelemetryRoute(std::string_view method, std::string_view path,
+                          std::chrono::steady_clock::time_point started,
+                          const std::vector<std::string>& healthz_extra,
+                          net::HttpResponse* response);
 
 /// Minimal embedded HTTP/1.1 listener for always-on telemetry. One
 /// background thread runs a blocking poll() accept loop and serves
@@ -40,14 +62,6 @@ class TelemetryServer {
     std::string bind_address = "127.0.0.1";
   };
 
-  /// One response, decoupled from the socket so tests can exercise the
-  /// routing table without a live connection.
-  struct Response {
-    int status = 200;
-    std::string content_type;
-    std::string body;
-  };
-
   /// Binds, listens, and starts the serving thread. Fails with
   /// kIoError if the port is taken or the address does not parse.
   static StatusOr<std::unique_ptr<TelemetryServer>> Start(
@@ -63,9 +77,12 @@ class TelemetryServer {
   /// The bound port (the kernel's choice when Options::port was 0).
   uint16_t port() const { return port_; }
 
-  /// Maps a request to a response — the whole routing table. Unknown
-  /// paths get 404, non-GET methods 405.
-  Response HandleRequest(std::string_view method, std::string_view path);
+  /// Maps a request to a response — the shared telemetry routing table
+  /// plus this server's 404 tail. Unknown paths get 404, non-GET methods
+  /// 405. `path` may still carry a query string (direct callers); it is
+  /// normalized with the same net::NormalizeTarget the parser uses.
+  net::HttpResponse HandleRequest(std::string_view method,
+                                  std::string_view path);
 
   /// Requests served since Start (monotonic, independent of the
   /// resettable `telemetry.requests` metric).

@@ -16,6 +16,8 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kInternal = 5,
   kIoError = 6,
+  kCancelled = 7,
+  kResourceExhausted = 8,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -58,6 +60,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

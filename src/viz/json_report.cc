@@ -1,0 +1,114 @@
+#include "viz/json_report.h"
+
+#include <utility>
+
+#include "timeseries/interval.h"
+#include "viz/svg.h"
+
+namespace gva {
+
+namespace {
+
+JsonValue SizeNumber(size_t value) {
+  return JsonValue::Number(static_cast<double>(value));
+}
+
+JsonValue IdentityJson(const JobSnapshot& snapshot) {
+  JsonValue object = JsonValue::Object();
+  object.Set("id", SizeNumber(static_cast<size_t>(snapshot.id)));
+  object.Set("tenant", JsonValue::String(snapshot.tenant));
+  object.Set("state", JsonValue::String(JobStateName(snapshot.state)));
+  object.Set("detector",
+             JsonValue::String(JobDetectorName(snapshot.spec.detector)));
+  return object;
+}
+
+}  // namespace
+
+JsonValue JobJson(const JobSnapshot& snapshot) {
+  JsonValue object = IdentityJson(snapshot);
+  if (!snapshot.status.ok()) {
+    object.Set("error", JsonValue::String(snapshot.status.ToString()));
+  }
+
+  JsonValue config = JsonValue::Object();
+  config.Set("window", SizeNumber(snapshot.spec.window));
+  config.Set("paa", SizeNumber(snapshot.spec.paa));
+  config.Set("alphabet", SizeNumber(snapshot.spec.alphabet));
+  config.Set("top_k", SizeNumber(snapshot.spec.top_k));
+  config.Set("threshold", JsonValue::Number(snapshot.spec.threshold));
+  config.Set("threads", SizeNumber(snapshot.spec.num_threads));
+  config.Set("approx", JsonValue::Bool(snapshot.spec.approx));
+  object.Set("config", std::move(config));
+
+  if (snapshot.state == JobState::kDone) {
+    JsonValue result = JsonValue::Object();
+    result.Set("detector", JsonValue::String(snapshot.outcome.detector));
+    result.Set("window", SizeNumber(snapshot.outcome.window));
+    result.Set("paa", SizeNumber(snapshot.outcome.paa));
+    result.Set("alphabet", SizeNumber(snapshot.outcome.alphabet));
+    result.Set("distance_calls",
+               SizeNumber(static_cast<size_t>(
+                   snapshot.outcome.distance_calls)));
+    JsonValue anomalies = JsonValue::Array();
+    for (const JobAnomaly& a : snapshot.outcome.anomalies) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("rank", SizeNumber(a.rank));
+      entry.Set("start", SizeNumber(a.start));
+      entry.Set("end", SizeNumber(a.end));
+      entry.Set("score", JsonValue::Number(a.score));
+      anomalies.Append(std::move(entry));
+    }
+    result.Set("anomalies", std::move(anomalies));
+    object.Set("result", std::move(result));
+  }
+  return object;
+}
+
+JsonValue JobSummaryJson(const JobSnapshot& snapshot) {
+  return IdentityJson(snapshot);
+}
+
+JsonValue StreamReportJson(const StreamingReport& report,
+                           size_t samples_seen) {
+  JsonValue object = JsonValue::Object();
+  object.Set("samples_seen", SizeNumber(samples_seen));
+  object.Set("suffix_start", SizeNumber(report.suffix_start));
+  object.Set("suffix_end",
+             SizeNumber(report.suffix_start + report.suffix_length));
+  JsonValue anomalies = JsonValue::Array();
+  for (const DensityAnomaly& a : report.detection.anomalies) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("rank", SizeNumber(a.rank));
+    entry.Set("start", SizeNumber(report.suffix_start + a.span.start));
+    entry.Set("end", SizeNumber(report.suffix_start + a.span.end));
+    entry.Set("min_density", SizeNumber(a.min_density));
+    entry.Set("mean_density", JsonValue::Number(a.mean_density));
+    anomalies.Append(std::move(entry));
+  }
+  object.Set("anomalies", std::move(anomalies));
+  return object;
+}
+
+std::string JobSvg(const JobSnapshot& snapshot) {
+  std::string title = "gva job " + std::to_string(snapshot.id) + " (" +
+                      snapshot.outcome.detector + ")";
+  SvgFigure figure(std::move(title));
+  std::vector<Interval> highlights;
+  for (const JobAnomaly& a : snapshot.outcome.anomalies) {
+    highlights.push_back(Interval{a.start, a.end});
+  }
+  if (snapshot.series != nullptr) {
+    figure.AddSeriesPanel("series", *snapshot.series, highlights);
+  }
+  if (!snapshot.outcome.density.empty()) {
+    figure.AddDensityPanel("rule density", snapshot.outcome.density);
+  }
+  if (!snapshot.outcome.score_curve.empty()) {
+    figure.AddSeriesPanel("ensemble score", snapshot.outcome.score_curve,
+                          highlights);
+  }
+  return figure.ToSvg();
+}
+
+}  // namespace gva

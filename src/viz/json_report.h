@@ -1,0 +1,51 @@
+#ifndef GVA_VIZ_JSON_REPORT_H_
+#define GVA_VIZ_JSON_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/job_runner.h"
+#include "core/streaming.h"
+#include "util/json.h"
+
+namespace gva {
+
+/// JSON wire representations of the server's result objects (DESIGN.md
+/// §13). Rendering lives here, next to the other presentation code, so the
+/// server and the tests share one definition of the format. Doubles are
+/// emitted via JsonNumber's %.17g, which round-trips bit-exactly — the
+/// representation the bit-identical differential tests compare on.
+
+/// One job as `GET /v1/jobs/{id}` returns it:
+///   {"id": n, "tenant": s, "state": s, "detector": s, "error": s?,
+///    "config": {"window": n, "paa": n, "alphabet": n, "top_k": n,
+///               "threshold": x, "threads": n, "approx": b},
+///    "result": {"detector": s, "window": n, "paa": n, "alphabet": n,
+///               "distance_calls": n,
+///               "anomalies": [{"rank": n, "start": n, "end": n,
+///                              "score": x}, ...]}?}
+/// `error` appears only for failed/cancelled jobs, `result` only for done
+/// ones. `config` echoes the request (0 = "suggest from the data");
+/// `result` carries the resolved values.
+JsonValue JobJson(const JobSnapshot& snapshot);
+
+/// One row of `GET /v1/jobs`: the identity/state subset of JobJson
+/// (no config, no result payload — list responses stay small).
+JsonValue JobSummaryJson(const JobSnapshot& snapshot);
+
+/// A streaming report as `GET /v1/streams/{id}/report` returns it:
+///   {"samples_seen": n, "suffix_start": n, "suffix_end": n,
+///    "anomalies": [{"rank": n, "start": n, "end": n, "min_density": n,
+///                   "mean_density": x}, ...]}
+/// Anomaly positions are absolute stream coordinates (suffix offset
+/// already applied), matching what `gva_cli stream` prints.
+JsonValue StreamReportJson(const StreamingReport& report, size_t samples_seen);
+
+/// The SVG figure for a finished job: the series with anomaly spans
+/// highlighted, plus the density or ensemble-score panel when the detector
+/// produced one. Only meaningful for state == kDone.
+std::string JobSvg(const JobSnapshot& snapshot);
+
+}  // namespace gva
+
+#endif  // GVA_VIZ_JSON_REPORT_H_

@@ -1,0 +1,266 @@
+#include "net/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gva::net {
+namespace {
+
+using State = HttpParser::State;
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  parser.Feed("GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  ASSERT_EQ(parser.Parse(), State::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_EQ(parser.request().path, "/healthz");
+  EXPECT_EQ(parser.request().query, "");
+  EXPECT_TRUE(parser.request().body.empty());
+  const std::string* host = parser.request().FindHeader("host");
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(*host, "localhost");
+  parser.ConsumeRequest();
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParserTest, ParsesPostWithBody) {
+  HttpParser parser;
+  parser.Feed(
+      "POST /v1/jobs HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world");
+  ASSERT_EQ(parser.Parse(), State::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "hello world");
+}
+
+// The poll() loop delivers bytes in whatever fragments the kernel hands
+// out. Feeding the request one byte at a time must produce exactly the
+// same parse as one contiguous read.
+TEST(HttpParserTest, SurvivesTornReadsByteByByte) {
+  const std::string raw =
+      "POST /v1/jobs?tenant=acme HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "X-Gva-Tenant: acme\r\n"
+      "Content-Length: 9\r\n"
+      "\r\n"
+      "{\"a\": 1}\n";
+  HttpParser parser;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    parser.Feed(std::string_view(&raw[i], 1));
+    const State state = parser.Parse();
+    if (i + 1 < raw.size()) {
+      ASSERT_EQ(state, State::kNeedMore) << "at byte " << i;
+    } else {
+      ASSERT_EQ(state, State::kComplete);
+    }
+  }
+  EXPECT_EQ(parser.request().path, "/v1/jobs");
+  EXPECT_EQ(parser.request().query, "tenant=acme");
+  EXPECT_EQ(parser.request().body, "{\"a\": 1}\n");
+  const std::string* tenant = parser.request().FindHeader("x-gva-tenant");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(*tenant, "acme");
+}
+
+// A body split across an arbitrary boundary must stitch back together.
+TEST(HttpParserTest, SurvivesTornReadsAtEveryBoundary) {
+  const std::string raw =
+      "PUT /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  for (size_t split = 1; split < raw.size(); ++split) {
+    HttpParser parser;
+    parser.Feed(std::string_view(raw).substr(0, split));
+    parser.Parse();  // kNeedMore or (never) kComplete before full input
+    parser.Feed(std::string_view(raw).substr(split));
+    ASSERT_EQ(parser.Parse(), State::kComplete) << "split at " << split;
+    EXPECT_EQ(parser.request().body, "abcd");
+  }
+}
+
+// Two requests in one read: the first parses, ConsumeRequest() keeps the
+// second, and the parser re-arms.
+TEST(HttpParserTest, HandlesPipelinedRequests) {
+  HttpParser parser;
+  parser.Feed(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /c HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(parser.Parse(), State::kComplete);
+  EXPECT_EQ(parser.request().path, "/a");
+  parser.ConsumeRequest();
+  ASSERT_EQ(parser.Parse(), State::kComplete);
+  EXPECT_EQ(parser.request().path, "/b");
+  EXPECT_EQ(parser.request().body, "hi");
+  parser.ConsumeRequest();
+  ASSERT_EQ(parser.Parse(), State::kComplete);
+  EXPECT_EQ(parser.request().path, "/c");
+  parser.ConsumeRequest();
+  EXPECT_EQ(parser.Parse(), State::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParserTest, AcceptsBareLfLineEndings) {
+  HttpParser parser;
+  parser.Feed("GET /healthz HTTP/1.1\nHost: x\n\n");
+  ASSERT_EQ(parser.Parse(), State::kComplete);
+  EXPECT_EQ(parser.request().path, "/healthz");
+}
+
+TEST(HttpParserTest, OversizedHeaderBlockIs431) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 128;
+  HttpParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'a') +
+              "\r\n\r\n");
+  ASSERT_EQ(parser.Parse(), State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+// Headers that never terminate must trip the limit without waiting for a
+// blank line that will never come.
+TEST(HttpParserTest, UnterminatedHeadersTrip431BeforeBlankLine) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 64;
+  HttpParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\nX-Drip: ");
+  EXPECT_EQ(parser.Parse(), State::kNeedMore);
+  parser.Feed(std::string(200, 'a'));  // still no blank line
+  ASSERT_EQ(parser.Parse(), State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, DeclaredBodyOverLimitIs413) {
+  HttpParser::Limits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser(limits);
+  parser.Feed("POST /v1/jobs HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n");
+  ASSERT_EQ(parser.Parse(), State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, MalformedContentLengthIs400) {
+  for (const char* bad : {"abc", "-1", "1.5", "1 2", "0x10", "", "+3"}) {
+    HttpParser parser;
+    parser.Feed(std::string("POST / HTTP/1.1\r\nContent-Length: ") + bad +
+                "\r\n\r\n");
+    ASSERT_EQ(parser.Parse(), State::kError) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpParserTest, ConflictingContentLengthFieldsAre400) {
+  HttpParser parser;
+  parser.Feed(
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n");
+  ASSERT_EQ(parser.Parse(), State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, TransferEncodingIs400) {
+  HttpParser parser;
+  parser.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_EQ(parser.Parse(), State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, MalformedRequestLinesAre400) {
+  const char* bad_requests[] = {
+      "GET\r\n\r\n",                       // no target
+      "GET /\r\n\r\n",                     // no version
+      " GET / HTTP/1.1\r\n\r\n",           // leading space
+      "GET / SPDY/3\r\n\r\n",              // wrong protocol
+      "GET / HTTP/2\r\n\r\n",              // unsupported major version
+      "GET nothing HTTP/1.1\r\n\r\n",      // target not absolute
+      "GET / HTTP/1.1\r\nbad header\r\n\r\n",   // header without colon
+      "GET / HTTP/1.1\r\n: empty\r\n\r\n",      // empty header name
+      "GET / HTTP/1.1\r\na b: split\r\n\r\n",   // space in header name
+  };
+  for (const char* raw : bad_requests) {
+    HttpParser parser;
+    parser.Feed(raw);
+    ASSERT_EQ(parser.Parse(), State::kError) << raw;
+    EXPECT_EQ(parser.error_status(), 400) << raw;
+  }
+}
+
+TEST(HttpParserTest, ErrorStateIsSticky) {
+  HttpParser parser;
+  parser.Feed("BROKEN\r\n\r\n");
+  ASSERT_EQ(parser.Parse(), State::kError);
+  parser.Feed("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(parser.Parse(), State::kError);  // still poisoned: close it
+}
+
+TEST(HttpParserTest, HeaderNamesLowercasedValuesTrimmed) {
+  HttpParser parser;
+  parser.Feed("GET / HTTP/1.1\r\nX-GVA-Tenant:   Acme-1  \r\n\r\n");
+  ASSERT_EQ(parser.Parse(), State::kComplete);
+  const std::string* tenant = parser.request().FindHeader("x-gva-tenant");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(*tenant, "Acme-1");  // value case preserved, whitespace trimmed
+}
+
+// The query-string normalization regression (satellite fix): a target with
+// a query or fragment routes on the bare path, with the query split out.
+TEST(NormalizeTargetTest, SplitsQueryAndDropsFragment) {
+  std::string path;
+  std::string query;
+  NormalizeTarget("/metrics?x=1&y=2", &path, &query);
+  EXPECT_EQ(path, "/metrics");
+  EXPECT_EQ(query, "x=1&y=2");
+  NormalizeTarget("/healthz#frag", &path, &query);
+  EXPECT_EQ(path, "/healthz");
+  EXPECT_EQ(query, "");
+  NormalizeTarget("/v1/jobs?tenant=a#b", &path, &query);
+  EXPECT_EQ(path, "/v1/jobs");
+  EXPECT_EQ(query, "tenant=a");
+  NormalizeTarget("/plain", &path, &query);
+  EXPECT_EQ(path, "/plain");
+  EXPECT_EQ(query, "");
+}
+
+TEST(NormalizeTargetTest, ParserAppliesNormalization) {
+  HttpParser parser;
+  parser.Feed("GET /v1/jobs?tenant=acme&limit=5#top HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(parser.Parse(), HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().target, "/v1/jobs?tenant=acme&limit=5#top");
+  EXPECT_EQ(parser.request().path, "/v1/jobs");
+  EXPECT_EQ(parser.request().query, "tenant=acme&limit=5");
+}
+
+TEST(QueryParamTest, ExtractsValues) {
+  EXPECT_EQ(QueryParam("tenant=acme&limit=5", "tenant"), "acme");
+  EXPECT_EQ(QueryParam("tenant=acme&limit=5", "limit"), "5");
+  EXPECT_EQ(QueryParam("tenant=acme", "missing"), "");
+  EXPECT_EQ(QueryParam("", "tenant"), "");
+  EXPECT_EQ(QueryParam("flag&tenant=x", "flag"), "");   // valueless key
+  EXPECT_EQ(QueryParam("flag&tenant=x", "tenant"), "x");
+  EXPECT_EQ(QueryParam("a=1&a=2", "a"), "1");           // first wins
+  EXPECT_EQ(QueryParam("ab=1", "a"), "");               // no prefix match
+}
+
+TEST(SerializeResponseTest, EmitsStatusLineHeadersAndBody) {
+  HttpResponse response;
+  response.status = 429;
+  response.content_type = "application/json";
+  response.body = "{}";
+  response.extra_headers.emplace_back("Retry-After", "1");
+  const std::string wire = SerializeResponse(response);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n\r\n{}"), std::string::npos);
+}
+
+TEST(SerializeResponseTest, KeepAliveHeaderTracksFlag) {
+  HttpResponse response;
+  response.keep_alive = true;
+  EXPECT_NE(SerializeResponse(response).find("Connection: keep-alive"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gva::net
